@@ -1,0 +1,48 @@
+// Command ncg-bounds prints the paper's theoretical PoA maps: Figure 3's
+// MAXNCG region partition with evaluated lower/upper bounds, and Figure
+// 4's SUMNCG lower-bound regions, over a sampled (α, k) grid at a given n.
+//
+// Usage:
+//
+//	ncg-bounds -game max|sum|both [-n 100000] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/table"
+)
+
+func main() {
+	var (
+		game = flag.String("game", "both", "which map to print: max | sum | both")
+		n    = flag.Int("n", 100000, "network size the bounds are evaluated at")
+		csv  = flag.Bool("csv", false, "emit CSV instead of ASCII tables")
+	)
+	flag.Parse()
+
+	emit := func(t *table.Table) {
+		if *csv {
+			fmt.Printf("# %s\n", t.Title)
+			t.RenderCSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+	switch *game {
+	case "max":
+		emit(experiments.Figure3(*n))
+	case "sum":
+		emit(experiments.Figure4(*n))
+	case "both":
+		emit(experiments.Figure3(*n))
+		emit(experiments.Figure4(*n))
+	default:
+		log.Fatalf("unknown game %q", *game)
+	}
+}

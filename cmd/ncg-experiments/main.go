@@ -1,0 +1,160 @@
+// Command ncg-experiments regenerates the paper's tables and figures
+// (Table I–II, Figures 5–10, the §5.4 cycle census, and the lower-bound
+// audits) as ASCII tables or CSV.
+//
+// Usage:
+//
+//	ncg-experiments -run all|tableI|tableII|fig5|fig6|fig7|fig8|fig9|fig10|census|audit
+//	               [-scale ci|paper] [-seed 1] [-csv]
+//
+// -scale paper reproduces the full §5.1 grids (15 α × 12 k × 20 seeds) —
+// expect a long run; -scale ci runs the representative sub-grid used by
+// the test suite and benchmarks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/table"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "experiment id (all, tableI, tableII, fig5..fig10, census, audit)")
+		scale  = flag.String("scale", "ci", "grid scale: ci | paper")
+		seed   = flag.Int64("seed", 1, "base RNG seed")
+		csv    = flag.Bool("csv", false, "emit CSV instead of ASCII tables")
+		seeds  = flag.Int("seeds", 0, "override: random starts per cell (0 = scale default)")
+		dynN   = flag.Int("dyn-n", 0, "override: tree size for the dynamics sweeps (0 = scale default)")
+		alphas = flag.String("alphas", "", "override: comma-separated α grid")
+		ks     = flag.String("ks", "", "override: comma-separated k grid")
+	)
+	flag.Parse()
+
+	p := experiments.Params{Scale: experiments.ScaleCI, Seed: *seed}
+	switch *scale {
+	case "ci":
+	case "paper":
+		p.Scale = experiments.ScalePaper
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	p.SeedsOverride = *seeds
+	p.DynTreeSize = *dynN
+	if *alphas != "" {
+		for _, part := range strings.Split(*alphas, ",") {
+			x, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				log.Fatalf("bad -alphas: %v", err)
+			}
+			p.AlphaGrid = append(p.AlphaGrid, x)
+		}
+	}
+	if *ks != "" {
+		for _, part := range strings.Split(*ks, ",") {
+			x, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				log.Fatalf("bad -ks: %v", err)
+			}
+			p.KGrid = append(p.KGrid, x)
+		}
+	}
+
+	emit := func(t *table.Table) {
+		if *csv {
+			fmt.Printf("# %s\n", t.Title)
+			t.RenderCSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+
+	want := func(id string) bool { return *run == "all" || *run == id }
+	ran := false
+
+	if want("tableI") {
+		emit(experiments.TableI(p))
+		ran = true
+	}
+	if want("tableII") {
+		emit(experiments.TableII(p))
+		ran = true
+	}
+	if want("fig1") {
+		t, err := experiments.Figure1(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(t)
+		ran = true
+	}
+	if want("fig2") {
+		t, err := experiments.Figure2(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(t)
+		ran = true
+	}
+	if want("fig3") {
+		emit(experiments.Figure3(100000))
+		ran = true
+	}
+	if want("fig4") {
+		emit(experiments.Figure4(100000))
+		ran = true
+	}
+	if want("fig5") {
+		emit(experiments.Figure5(p))
+		ran = true
+	}
+	if want("fig6") {
+		emit(experiments.Figure6(p))
+		ran = true
+	}
+	if want("fig7") {
+		emit(experiments.Figure7(p))
+		ran = true
+	}
+	if want("fig8") {
+		emit(experiments.Figure8(p))
+		ran = true
+	}
+	if want("fig9") {
+		emit(experiments.Figure9(p))
+		ran = true
+	}
+	if want("fig10") {
+		left, right := experiments.Figure10(p)
+		emit(left)
+		emit(right)
+		ran = true
+	}
+	if want("census") {
+		emit(experiments.CycleCensus(p))
+		ran = true
+	}
+	if want("audit") {
+		emit(experiments.LowerBoundAudit(p))
+		emit(experiments.SumLowerBoundAudit(p))
+		ran = true
+	}
+	if want("theory") {
+		t1, ok1 := experiments.Corollary314Check(p)
+		emit(t1)
+		t2, ok2 := experiments.Theorem44Check(p)
+		emit(t2)
+		fmt.Printf("Corollary 3.14 holds: %v; Theorem 4.4 holds: %v\n", ok1, ok2)
+		ran = true
+	}
+	if !ran {
+		log.Fatalf("unknown experiment %q; valid: all tableI tableII fig1..fig10 census audit theory", *run)
+	}
+}

@@ -1,0 +1,50 @@
+package ncg_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	ncg "repro"
+)
+
+// The canonical flow: random start, locality-constrained dynamics,
+// equilibrium audit.
+func Example() {
+	rng := rand.New(rand.NewSource(1))
+	s := ncg.RandomState(30, rng)
+	cfg := ncg.DefaultConfig(ncg.MaxNCG, 2, 3)
+	res := ncg.Run(s, cfg)
+	fmt.Println(res.Status, ncg.IsLKE(res.Final, cfg))
+	// Output: converged true
+}
+
+// Computing a single exact best response under locality (§5.3 reduction).
+func ExampleMaxBestResponse() {
+	s := ncg.FromGraphLowOwners(ncg.Path(7))
+	r := ncg.MaxBestResponse(s, 0, 6, 0.5)
+	fmt.Println(r.Improving, r.Strategy)
+	// Output: true [2 5]
+}
+
+// The SUMNCG frontier guard of Proposition 2.2: moves that could push
+// frontier vertices beyond distance k are never improving.
+func ExampleSumDelta() {
+	s := ncg.FromGraphLowOwners(ncg.Path(5))
+	// Player 2 owns (2,3); dropping it risks an unbounded hidden tail.
+	delta := ncg.SumDelta(s, 2, 2, 0.1, []int{})
+	fmt.Println(delta > 1e6)
+	// Output: true
+}
+
+// The §2 NP-hardness reduction doubles as a dominating-set solver.
+func ExampleDominationNumber() {
+	gamma, err := ncg.DominationNumber(ncg.CycleG(12), 2)
+	fmt.Println(gamma, err)
+	// Output: 4 <nil>
+}
+
+// Classical stability thresholds for the canonical profiles.
+func ExampleStarIsNESum() {
+	fmt.Println(ncg.StarIsNESum(10, 0.5), ncg.StarIsNESum(10, 2))
+	// Output: false true
+}

@@ -1,0 +1,134 @@
+// Package analysis computes structural reports on game states: degree and
+// bought-edge distributions, per-player cost breakdowns, equilibrium
+// certificates (per-player improvement potential), and the gap between a
+// state's social cost and the theoretical bounds. The cmd tools use it to
+// explain *why* an equilibrium is good or bad, beyond the single quality
+// number the figures plot.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bounds"
+	"repro/internal/dynamics"
+	"repro/internal/game"
+	"repro/internal/view"
+)
+
+// PlayerReport is one player's situation in a state.
+type PlayerReport struct {
+	Player     int
+	Bought     int
+	Degree     int
+	ViewSize   int
+	Cost       float64
+	BestCost   float64 // cost of the player's best response on her view
+	Improvable bool
+}
+
+// Report is a full structural snapshot of a state under (variant, α, k).
+type Report struct {
+	N          int
+	Edges      int
+	Diameter   int
+	SocialCost float64
+	Optimum    float64
+	Quality    float64
+	Unfairness float64
+	// Deviators counts players with strictly improving responses
+	// (0 ⇔ the state is an LKE for the configured responder).
+	Deviators int
+	Players   []PlayerReport
+	// TheoryLower / TheoryUpper evaluate the PoA bound formulas at the
+	// state's parameters (MAXNCG only; zero for SUMNCG upper).
+	TheoryLower float64
+	TheoryUpper float64
+}
+
+// Analyze builds the report. It runs one responder call per player, so
+// cost is comparable to a single dynamics round.
+func Analyze(s *game.State, cfg dynamics.Config) Report {
+	costs := game.AllPlayerCosts(s, cfg.Variant, cfg.Alpha)
+	g := s.Graph()
+	r := Report{
+		N:          s.N(),
+		Edges:      g.M(),
+		Diameter:   g.Diameter(),
+		SocialCost: game.SocialCost(s, cfg.Variant, cfg.Alpha),
+		Optimum:    game.OptimumSocialCost(s.N(), cfg.Variant, cfg.Alpha),
+		Quality:    game.Quality(s, cfg.Variant, cfg.Alpha),
+		Unfairness: game.Unfairness(s, cfg.Variant, cfg.Alpha),
+	}
+	if cfg.Variant == game.Max {
+		r.TheoryLower = bounds.MaxLowerBound(s.N(), cfg.K, cfg.Alpha)
+		r.TheoryUpper = bounds.MaxUpperBound(s.N(), cfg.K, cfg.Alpha)
+	} else {
+		r.TheoryLower = bounds.SumLowerBound(s.N(), cfg.K, cfg.Alpha)
+	}
+	for u := 0; u < s.N(); u++ {
+		resp := cfg.Responder(s, u, cfg.K, cfg.Alpha)
+		pr := PlayerReport{
+			Player:     u,
+			Bought:     s.BoughtCount(u),
+			Degree:     g.Degree(u),
+			ViewSize:   view.Extract(g, u, cfg.K).Size(),
+			Cost:       costs[u],
+			BestCost:   resp.Cost,
+			Improvable: resp.Improving,
+		}
+		if pr.Improvable {
+			r.Deviators++
+		}
+		r.Players = append(r.Players, pr)
+	}
+	return r
+}
+
+// IsEquilibrium reports whether the analyzed state had no deviators.
+func (r Report) IsEquilibrium() bool { return r.Deviators == 0 }
+
+// DegreeHistogram returns degree → count for the state's network.
+func DegreeHistogram(s *game.State) map[int]int {
+	h := make(map[int]int)
+	g := s.Graph()
+	for v := 0; v < g.N(); v++ {
+		h[g.Degree(v)]++
+	}
+	return h
+}
+
+// BoughtHistogram returns |σ_u| → count.
+func BoughtHistogram(s *game.State) map[int]int {
+	h := make(map[int]int)
+	for u := 0; u < s.N(); u++ {
+		h[s.BoughtCount(u)]++
+	}
+	return h
+}
+
+// FormatHistogram renders a histogram map as "k:v" pairs sorted by key.
+func FormatHistogram(h map[int]int) string {
+	keys := make([]int, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%d:%d", k, h[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// Summary renders the headline numbers as one human-readable block.
+func (r Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "players=%d edges=%d diameter=%d\n", r.N, r.Edges, r.Diameter)
+	fmt.Fprintf(&b, "social=%.1f optimum=%.1f quality=%.3f unfairness=%.3f\n",
+		r.SocialCost, r.Optimum, r.Quality, r.Unfairness)
+	fmt.Fprintf(&b, "deviators=%d (equilibrium=%v)\n", r.Deviators, r.IsEquilibrium())
+	fmt.Fprintf(&b, "theory: PoA lower=%.2f upper=%.2f\n", r.TheoryLower, r.TheoryUpper)
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dynamics"
+	"repro/internal/game"
+	"repro/internal/gen"
+)
+
+func TestAnalyzeStarEquilibrium(t *testing.T) {
+	s := game.NewState(8)
+	for v := 1; v < 8; v++ {
+		s.Buy(v, 0)
+	}
+	cfg := dynamics.DefaultConfig(game.Max, 3, 4)
+	r := Analyze(s, cfg)
+	if !r.IsEquilibrium() {
+		t.Fatalf("star not an equilibrium: %d deviators", r.Deviators)
+	}
+	if r.N != 8 || r.Edges != 7 || r.Diameter != 2 {
+		t.Fatalf("shape: %+v", r)
+	}
+	if len(r.Players) != 8 {
+		t.Fatalf("player reports: %d", len(r.Players))
+	}
+	center := r.Players[0]
+	if center.Bought != 0 || center.Degree != 7 || center.Cost != 1 {
+		t.Fatalf("center report: %+v", center)
+	}
+}
+
+func TestAnalyzeDetectsDeviators(t *testing.T) {
+	s := game.FromGraphLowOwners(gen.Path(12))
+	cfg := dynamics.DefaultConfig(game.Max, 0.5, 1000)
+	r := Analyze(s, cfg)
+	if r.IsEquilibrium() {
+		t.Fatal("cheap-α path should have deviators")
+	}
+	found := false
+	for _, p := range r.Players {
+		if p.Improvable && p.BestCost >= p.Cost {
+			t.Fatalf("improvable player %d has BestCost %v >= Cost %v", p.Player, p.BestCost, p.Cost)
+		}
+		found = found || p.Improvable
+	}
+	if !found {
+		t.Fatal("deviator count positive but no player flagged")
+	}
+}
+
+func TestAnalyzeAfterDynamicsIsEquilibrium(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := game.FromGraphRandomOwners(gen.RandomTree(15, rng), rng)
+	cfg := dynamics.DefaultConfig(game.Max, 2, 3)
+	res := dynamics.Run(s, cfg)
+	if res.Status != dynamics.Converged {
+		t.Skip("no convergence")
+	}
+	if !Analyze(res.Final, cfg).IsEquilibrium() {
+		t.Fatal("converged state analyzed as non-equilibrium")
+	}
+}
+
+func TestHistograms(t *testing.T) {
+	s := game.NewState(5)
+	s.Buy(1, 0)
+	s.Buy(2, 0)
+	s.Buy(3, 0)
+	s.Buy(4, 0)
+	deg := DegreeHistogram(s)
+	if deg[4] != 1 || deg[1] != 4 {
+		t.Fatalf("degree histogram: %v", deg)
+	}
+	bought := BoughtHistogram(s)
+	if bought[0] != 1 || bought[1] != 4 {
+		t.Fatalf("bought histogram: %v", bought)
+	}
+	if got := FormatHistogram(deg); got != "1:4 4:1" {
+		t.Fatalf("format: %q", got)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := game.NewState(4)
+	s.Buy(1, 0)
+	s.Buy(2, 0)
+	s.Buy(3, 0)
+	cfg := dynamics.DefaultConfig(game.Max, 2, 3)
+	out := Analyze(s, cfg).Summary()
+	for _, want := range []string{"players=4", "quality=", "equilibrium=true", "theory"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeSumVariant(t *testing.T) {
+	s := game.NewState(6)
+	for v := 1; v < 6; v++ {
+		s.Buy(v, 0)
+	}
+	cfg := dynamics.DefaultConfig(game.Sum, 1.5, 2)
+	r := Analyze(s, cfg)
+	if !r.IsEquilibrium() {
+		t.Fatalf("SUM star not equilibrium: %d deviators", r.Deviators)
+	}
+	if r.TheoryUpper != 0 {
+		t.Fatal("SUM report should have no upper bound")
+	}
+}

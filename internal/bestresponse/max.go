@@ -1,0 +1,235 @@
+// Package bestresponse computes players' best responses under the
+// locality model. For MAXNCG, Proposition 2.1 shows the worst-case
+// realizable network coincides with the player's view, so the player can
+// optimize directly on the view; the optimization itself reduces to a
+// constrained MINIMUM DOMINATING SET on powers of the view (§5.3). For
+// SUMNCG, Proposition 2.2 additionally forbids strategies that push
+// frontier vertices beyond distance k.
+package bestresponse
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/game"
+	"repro/internal/graph"
+	"repro/internal/mds"
+	"repro/internal/view"
+)
+
+// epsilon guards strict-improvement comparisons against float noise in
+// α-weighted costs.
+const epsilon = 1e-9
+
+// Response is the outcome of a best-response computation.
+type Response struct {
+	// Strategy is the proposed σ'_u in global vertex ids (sorted).
+	Strategy []int
+	// Cost is the player's cost under Strategy, evaluated on her view
+	// (building cost + usage within the view).
+	Cost float64
+	// CurrentCost is the player's cost under her current strategy,
+	// evaluated the same way.
+	CurrentCost float64
+	// Improving reports whether Strategy is strictly better than the
+	// current strategy (by more than epsilon).
+	Improving bool
+}
+
+// MaxBestResponse computes an exact best response for player u in MAXNCG
+// with view radius k and edge price alpha, following §5.3:
+//
+//  1. extract the view H = G[β(u,k)];
+//  2. remove u; vertices that bought an edge towards u stay adjacent to u
+//     in every strategy, so they are "forced" dominators;
+//  3. for every target eccentricity h, a strategy achieving eccentricity
+//     <= h is exactly a dominating set of the (h-1)-th power of H∖{u}
+//     extending the forced set; minimize α·|extra| + h over h.
+//
+// The returned strategy never buys edges already bought towards u (they
+// would be pure waste) and is exact: no strategy over the view has lower
+// cost.
+func MaxBestResponse(s *game.State, u, k int, alpha float64) Response {
+	v := view.Extract(s.Graph(), u, k)
+	cur := currentViewCost(s, v, game.Max, alpha, u)
+
+	// Build H∖{u} with a local id remap (local ids shift after dropping
+	// the center).
+	rest, restOrig := dropCenter(v)
+	nRest := rest.N()
+	if nRest == 0 {
+		// Lone player: buying nothing is the unique (vacuous) strategy.
+		return Response{Strategy: []int{}, Cost: 0, CurrentCost: cur, Improving: cur > epsilon}
+	}
+
+	// Forced dominators: view vertices that bought an edge towards u.
+	var forced []int
+	for i, orig := range restOrig {
+		if s.Buys(orig, u) {
+			forced = append(forced, i)
+		}
+	}
+
+	// Candidate eccentricities h: d(u,v) = 1 + d_{H∖u}(S∪forced, v), so the
+	// achievable eccentricity range is 1..(1+ecc of any vertex). 2k+1 is a
+	// safe upper bound inside a radius-k view; cap by nRest as well.
+	maxH := 2*k + 1
+	if maxH > nRest {
+		maxH = nRest
+	}
+	if maxH < 1 {
+		maxH = 1
+	}
+
+	// The incumbent starts at the player's CURRENT cost: only strictly
+	// cheaper strategies matter, so every dominating-set search below is
+	// capped at the size that would actually beat it — never proving
+	// optimality of solutions we would discard. Candidate eccentricities
+	// are visited in DESCENDING order so the cap stays tight from the
+	// first iteration (at h = maxH the empty extra set always works).
+	bestCost := cur
+	var bestSet []int
+	improved := false
+	for h := maxH; h >= 1; h-- {
+		if float64(h) >= bestCost-epsilon {
+			continue // cost >= h can no longer improve on the incumbent
+		}
+		limit := nRest + 1
+		if alpha > 0 {
+			useful := (bestCost - float64(h)) / alpha
+			if c := int(math.Ceil(useful)); c < limit {
+				limit = c
+			}
+		}
+		p := rest.Power(h - 1)
+		extra, ok := mds.MinDominatingExtraAtMost(p, forced, limit)
+		if !ok {
+			continue
+		}
+		cost := alpha*float64(len(extra)) + float64(h)
+		if cost < bestCost-epsilon {
+			bestCost = cost
+			bestSet = extra
+			improved = true
+		}
+	}
+
+	if !improved {
+		return Response{
+			Strategy:    s.Strategy(u),
+			Cost:        cur,
+			CurrentCost: cur,
+			Improving:   false,
+		}
+	}
+	strategy := make([]int, 0, len(bestSet))
+	for _, l := range bestSet {
+		strategy = append(strategy, restOrig[l])
+	}
+	sort.Ints(strategy)
+	return Response{
+		Strategy:    strategy,
+		Cost:        bestCost,
+		CurrentCost: cur,
+		Improving:   true,
+	}
+}
+
+// currentViewCost evaluates u's current cost restricted to her view: the
+// building term uses the full strategy (every bought edge costs α even if
+// its endpoint is currently invisible — it was visible when bought and u
+// knows she pays for it), while the usage term is measured on the view,
+// consistent with Propositions 2.1/2.2.
+func currentViewCost(s *game.State, v *view.View, variant game.Variant, alpha float64, u int) float64 {
+	build := alpha * float64(s.BoughtCount(u))
+	switch variant {
+	case game.Max:
+		ecc := 0
+		for _, d := range v.Dist {
+			if d > ecc {
+				ecc = d
+			}
+		}
+		if !connectedView(v) {
+			return game.InfiniteCost
+		}
+		return build + float64(ecc)
+	case game.Sum:
+		sum := 0
+		for _, d := range v.Dist {
+			sum += d
+		}
+		if !connectedView(v) {
+			return game.InfiniteCost
+		}
+		return build + float64(sum)
+	default:
+		panic("bestresponse: unknown variant")
+	}
+}
+
+// connectedView reports whether every view vertex is reachable from the
+// center (true by construction of Extract, kept as a guard).
+func connectedView(v *view.View) bool {
+	for _, d := range v.Dist {
+		if d >= graph.Unreachable {
+			return false
+		}
+	}
+	return true
+}
+
+// dropCenter returns the view graph with the center removed, and the
+// mapping from new local ids to global ids.
+func dropCenter(v *view.View) (*graph.Graph, []int) {
+	var keep []int
+	for i := range v.Orig {
+		if i != v.Center {
+			keep = append(keep, i)
+		}
+	}
+	sub, subOrig := v.H.Induced(keep)
+	orig := make([]int, len(subOrig))
+	for i, localID := range subOrig {
+		orig[i] = v.Orig[localID]
+	}
+	return sub, orig
+}
+
+// MaxEvaluate computes the view-restricted MAXNCG cost of an arbitrary
+// candidate strategy (global ids, all inside u's view): α·|σ'| plus the
+// eccentricity of u in the modified view H'. Used by tests and by the LKE
+// auditor to cross-check responder outputs against exhaustive search.
+func MaxEvaluate(s *game.State, u, k int, alpha float64, strategy []int) float64 {
+	v := view.Extract(s.Graph(), u, k)
+	h := v.H.Clone()
+	// Remove u's bought edges, keep edges bought by others towards u.
+	for _, w := range s.Strategy(u) {
+		lw, ok := v.Local[w]
+		if !ok {
+			continue
+		}
+		if !s.Buys(w, u) {
+			h.RemoveEdge(v.Center, lw)
+		}
+	}
+	for _, w := range strategy {
+		lw, ok := v.Local[w]
+		if !ok {
+			return game.InfiniteCost // outside the strategy space
+		}
+		h.AddEdge(v.Center, lw)
+	}
+	dist := make([]int, h.N())
+	h.BFS(v.Center, dist, nil)
+	ecc := 0
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	if ecc >= graph.Unreachable {
+		return game.InfiniteCost
+	}
+	return alpha*float64(len(strategy)) + float64(ecc)
+}

@@ -1,0 +1,249 @@
+// Package bounds encodes the paper's theoretical Price-of-Anarchy results
+// as evaluatable formulas and (α,k)-plane region classifiers: Figure 3's
+// eight regions for MAXNCG (§3.3) and Figure 4's regions for SUMNCG (§4).
+// Constants hidden inside Θ/Ω/O are set to 1; the functions reproduce the
+// *shape* of the bounds, which is what the experiment harness compares
+// against.
+package bounds
+
+import (
+	"fmt"
+	"math"
+)
+
+// log2 guards against non-positive arguments.
+func log2(x float64) float64 {
+	if x <= 1 {
+		return 0
+	}
+	return math.Log2(x)
+}
+
+// MaxRegion identifies a region of Figure 3 for MAXNCG.
+type MaxRegion int
+
+const (
+	// MaxRegionFullKnowledge is the gray region: every LKE player sees the
+	// whole network, so LKE ≡ NE (Corollary 3.14).
+	MaxRegionFullKnowledge MaxRegion = iota
+	// MaxRegion1 through MaxRegion8 are the numbered regions ①–⑧.
+	MaxRegion1
+	MaxRegion2
+	MaxRegion3
+	MaxRegion4
+	MaxRegion5
+	MaxRegion6
+	MaxRegion7
+	MaxRegion8
+)
+
+// String names the region as in Figure 3.
+func (r MaxRegion) String() string {
+	switch r {
+	case MaxRegionFullKnowledge:
+		return "NE≡LKE"
+	case MaxRegion1, MaxRegion2, MaxRegion3, MaxRegion4, MaxRegion5, MaxRegion6, MaxRegion7, MaxRegion8:
+		return fmt.Sprintf("region-%d", int(r))
+	default:
+		return "unknown"
+	}
+}
+
+// ClassifyMax places a parameter triple in Figure 3's partition.
+//
+// Boundaries, following §3.3 (constants set to 1):
+//   - gray (NE≡LKE): k > min{n, (nα²)^{1/3}, α·4^{√log n}} for α <= k-1
+//     (Corollary 3.14) — above the dashed curves;
+//   - the k = α+1 line splits the locality regions: below it (α >= k-1)
+//     lie regions ②,③,⑥; above it ①,④,⑤,⑦,⑧;
+//   - k vs log n and k vs 2^{√log n} split ①/④/⑤ and ②/③;
+//   - α vs log n splits the right-hand regions ⑥,⑦,⑧ from the rest.
+func ClassifyMax(n int, k int, alpha float64) MaxRegion {
+	nf := float64(n)
+	kf := float64(k)
+	logn := log2(nf)
+	sqrtLogN := math.Sqrt(math.Max(logn, 0))
+
+	if alpha <= kf-1 {
+		full := math.Min(nf, math.Min(math.Cbrt(nf*alpha*alpha), alpha*math.Pow(4, sqrtLogN)))
+		if kf > full {
+			return MaxRegionFullKnowledge
+		}
+	}
+	aboveLine := kf >= alpha+1 // locality regions above k = α+1
+	smallAlpha := alpha <= logn
+	bigAlpha := alpha > nf
+	midAlpha := !smallAlpha && !bigAlpha
+
+	twoToSqrt := math.Pow(2, sqrtLogN)
+	if aboveLine {
+		switch {
+		case kf <= logn && smallAlpha:
+			return MaxRegion1
+		case kf <= twoToSqrt && smallAlpha:
+			return MaxRegion4
+		case smallAlpha:
+			return MaxRegion5
+		case kf <= twoToSqrt && midAlpha:
+			return MaxRegion7
+		default:
+			return MaxRegion8
+		}
+	}
+	switch {
+	case kf <= logn && !bigAlpha:
+		return MaxRegion2
+	case kf <= logn && bigAlpha:
+		return MaxRegion3
+	default:
+		return MaxRegion6
+	}
+}
+
+// MaxLowerBound evaluates the strongest applicable PoA lower bound from
+// §3.1 at (n, k, α), constants set to 1. It returns 1 when no
+// construction applies (e.g. the full-knowledge region).
+func MaxLowerBound(n int, k int, alpha float64) float64 {
+	nf := float64(n)
+	kf := float64(k)
+	best := 1.0
+	// Lemma 3.1: α >= k−1 → Ω(n/(1+α)).
+	if alpha >= kf-1 {
+		if v := nf / (1 + alpha); v > best {
+			best = v
+		}
+	}
+	// Lemma 3.2: 2 <= k = o(log n), α >= 1 → Ω(n^{1/(2k−2)}).
+	if k >= 2 && kf < log2(nf) && alpha >= 1 {
+		if v := math.Pow(nf, 1/(2*kf-2)); v > best {
+			best = v
+		}
+	}
+	// Theorem 3.12: 1 < α <= k <= 2^{√log n − 3} →
+	// Ω(n / (α · 2^{(log(k/α)+3)·log(k/α)})).
+	if alpha > 1 && alpha <= kf && kf <= math.Pow(2, math.Sqrt(log2(nf))-3) {
+		lk := log2(kf / alpha)
+		denom := alpha * math.Pow(2, (lk+3)*lk)
+		if v := nf / denom; v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// MaxUpperBound evaluates the Theorem 3.18 PoA upper bound at (n, k, α),
+// constants set to 1.
+func MaxUpperBound(n int, k int, alpha float64) float64 {
+	nf := float64(n)
+	kf := float64(k)
+	density := math.Pow(nf, 2/math.Min(math.Max(alpha, 1e-9), 2*kf))
+	if alpha >= kf-1 {
+		// O(n^{2/min{α,2k}} + n/(1+α)).
+		return density + nf/(1+alpha)
+	}
+	// α <= k−1: O(n^{2/α} + min{nα²/k², nk/(α·2^{(1/4)·log²(k/α)})}).
+	diam1 := nf * alpha * alpha / (kf * kf)
+	lk := log2(kf / alpha)
+	diam2 := nf * kf / (alpha * math.Pow(2, lk*lk/4))
+	return density + math.Min(diam1, diam2)
+}
+
+// FullKnowledgeMax reports whether (n,k,α) lies in the gray NE≡LKE region
+// (Corollary 3.14).
+func FullKnowledgeMax(n, k int, alpha float64) bool {
+	return ClassifyMax(n, k, alpha) == MaxRegionFullKnowledge
+}
+
+// --- SUMNCG (Figure 4) ---
+
+// SumRegion identifies a region of Figure 4 for SUMNCG.
+type SumRegion int
+
+const (
+	// SumRegionFullKnowledge: k > 1 + 2√α → LKE ≡ NE (Theorem 4.4).
+	SumRegionFullKnowledge SumRegion = iota
+	// SumRegionStrong: k <= c·∛α and α <= n → PoA = Ω(n/k) (Theorem 4.2).
+	SumRegionStrong
+	// SumRegionLargeAlpha: k <= c·∛α and α > n → PoA = Ω(1 + n²/(kα)).
+	SumRegionLargeAlpha
+	// SumRegionDense: α >= kn, k >= 2 → PoA = Ω(n^{1/(2k−2)}) (Thm 4.3).
+	SumRegionDense
+	// SumRegionOpen: between the ∛α and √α curves — open in the paper.
+	SumRegionOpen
+)
+
+// String names the region.
+func (r SumRegion) String() string {
+	switch r {
+	case SumRegionFullKnowledge:
+		return "NE≡LKE"
+	case SumRegionStrong:
+		return "Ω(n/k)"
+	case SumRegionLargeAlpha:
+		return "Ω(1+n²/(kα))"
+	case SumRegionDense:
+		return "Ω(max{n²/(kα), n^(1/(2k−2))})"
+	case SumRegionOpen:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// ClassifySum places a parameter triple in Figure 4's partition
+// (constants c, c' set to 1).
+func ClassifySum(n int, k int, alpha float64) SumRegion {
+	kf := float64(k)
+	if kf > 1+2*math.Sqrt(math.Max(alpha, 0)) {
+		return SumRegionFullKnowledge
+	}
+	if alpha >= kf*float64(n) && k >= 2 {
+		return SumRegionDense
+	}
+	if kf <= math.Cbrt(math.Max(alpha, 0)) {
+		if alpha <= float64(n) {
+			return SumRegionStrong
+		}
+		return SumRegionLargeAlpha
+	}
+	return SumRegionOpen
+}
+
+// SumLowerBound evaluates the strongest applicable SUMNCG PoA lower bound
+// (Theorems 4.2 and 4.3), constants set to 1; 1 when none applies.
+func SumLowerBound(n int, k int, alpha float64) float64 {
+	nf := float64(n)
+	kf := float64(k)
+	best := 1.0
+	// Theorem 4.2 needs α >= 4k³ and k <= √(2n/3) − 4.
+	if alpha >= 4*kf*kf*kf && kf <= math.Sqrt(2*nf/3)-4 {
+		if alpha <= nf {
+			if v := nf / kf; v > best {
+				best = v
+			}
+		} else if v := 1 + nf*nf/(kf*alpha); v > best {
+			best = v
+		}
+	}
+	// Theorem 4.3: α >= kn, k >= 2 → Ω(n^{1/(2k−2)}).
+	if alpha >= kf*nf && k >= 2 {
+		if v := math.Pow(nf, 1/(2*kf-2)); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// FullKnowledgeSum reports Theorem 4.4's criterion k > 1 + 2√α.
+func FullKnowledgeSum(k int, alpha float64) bool {
+	return float64(k) > 1+2*math.Sqrt(math.Max(alpha, 0))
+}
+
+// Figure7Benchmark is the trend curve highlighted in Figure 7: with α >= 2
+// and n fixed, the upper bound reduces to f(k) = k / 2^{log₂² k}
+// (normalized so f(2) = 1 for plotting).
+func Figure7Benchmark(k int) float64 {
+	kf := float64(k)
+	f := func(x float64) float64 { return x / math.Pow(2, log2(x)*log2(x)) }
+	return f(kf) / f(2)
+}

@@ -1,0 +1,194 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassifyMaxFullKnowledge(t *testing.T) {
+	// Huge k relative to n: every player sees everything.
+	if r := ClassifyMax(100, 1000, 2); r != MaxRegionFullKnowledge {
+		t.Fatalf("k=1000 n=100: region=%v, want full knowledge", r)
+	}
+	// Tiny k never grants full knowledge on a large network.
+	if r := ClassifyMax(100000, 2, 2); r == MaxRegionFullKnowledge {
+		t.Fatal("k=2 classified as full knowledge")
+	}
+}
+
+func TestClassifyMaxLargeAlphaSmallK(t *testing.T) {
+	// α > n with k below log n: region ③ (below the k=α+1 line, big α).
+	if r := ClassifyMax(1000, 3, 5000); r != MaxRegion3 {
+		t.Fatalf("region=%v, want region-3", r)
+	}
+	// Small α, small k, above the line: region ①.
+	if r := ClassifyMax(100000, 8, 2); r != MaxRegion1 {
+		t.Fatalf("region=%v, want region-1", r)
+	}
+}
+
+func TestClassifyMaxRegionString(t *testing.T) {
+	if MaxRegionFullKnowledge.String() != "NE≡LKE" {
+		t.Fatal("gray region name")
+	}
+	if MaxRegion4.String() != "region-4" {
+		t.Fatalf("got %s", MaxRegion4)
+	}
+	if MaxRegion(99).String() != "unknown" {
+		t.Fatal("unknown region name")
+	}
+}
+
+func TestMaxLowerBoundLemma31Dominates(t *testing.T) {
+	// α huge, k small: Lemma 3.1 gives n/(1+α); Lemma 3.2 gives
+	// n^{1/(2k-2)}. At α=n both are defined; check we take the max.
+	n, k := 10000, 3
+	lb := MaxLowerBound(n, k, float64(n))
+	want := math.Pow(float64(n), 1.0/4) // n^{1/(2k-2)} = 10^1 = 10
+	if lb < want-1e-9 {
+		t.Fatalf("lb=%v, want >= %v", lb, want)
+	}
+}
+
+func TestMaxLowerBoundTheorem312(t *testing.T) {
+	// k = α: the Theorem 3.12 bound collapses to ~n/α (log(k/α)=0 → 2^0=1).
+	// n must satisfy k <= 2^(√log n − 3), i.e. log n >= (log k + 3)².
+	n := 1 << 25
+	alpha := 4.0
+	k := 4
+	lb := MaxLowerBound(n, k, alpha)
+	if want := float64(n) / alpha; math.Abs(lb-want)/want > 0.01 {
+		t.Fatalf("lb=%v, want ≈ %v", lb, want)
+	}
+}
+
+func TestMaxLowerBoundTrivialWhenNothingApplies(t *testing.T) {
+	// α < 1 with large k: no construction applies → 1.
+	if lb := MaxLowerBound(1000, 500, 0.5); lb != 1 {
+		t.Fatalf("lb=%v, want 1", lb)
+	}
+}
+
+func TestMaxUpperBoundShapes(t *testing.T) {
+	// α >= k-1 branch: density + n/(1+α).
+	n := 10000
+	ub := MaxUpperBound(n, 2, 100)
+	if ub < float64(n)/101 {
+		t.Fatalf("upper bound %v below diameter term", ub)
+	}
+	// α <= k-1 branch is finite and positive.
+	ub2 := MaxUpperBound(n, 50, 2)
+	if ub2 <= 0 || math.IsInf(ub2, 0) || math.IsNaN(ub2) {
+		t.Fatalf("bad upper bound %v", ub2)
+	}
+}
+
+func TestQuickUpperAtLeastLowerWhereTight(t *testing.T) {
+	// In the regions below k = α+1 the bounds are "essentially tight";
+	// sanity: upper >= lower/constant for a grid of parameters. We allow
+	// a slack factor because all hidden constants were set to 1.
+	f := func(nRaw, kRaw, aRaw uint8) bool {
+		n := 1000 + int(nRaw)*100
+		k := 2 + int(kRaw%10)
+		alpha := float64(k) + float64(aRaw%50) // α >= k → below the line
+		lb := MaxLowerBound(n, k, alpha)
+		ub := MaxUpperBound(n, k, alpha)
+		return ub >= lb/8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassifySum(t *testing.T) {
+	// k far above 1+2√α → full knowledge.
+	if r := ClassifySum(1000, 50, 4); r != SumRegionFullKnowledge {
+		t.Fatalf("region=%v, want NE≡LKE", r)
+	}
+	// k <= ∛α, α <= n → strong Ω(n/k).
+	if r := ClassifySum(100000, 3, 64); r != SumRegionStrong {
+		t.Fatalf("region=%v, want strong", r)
+	}
+	// k <= ∛α, α > n → large-α bound.
+	if r := ClassifySum(50, 3, 1e6); r != SumRegionDense && r != SumRegionLargeAlpha {
+		t.Fatalf("region=%v, want large-α or dense", r)
+	}
+	// Between the curves: open.
+	if r := ClassifySum(100000, 5, 30); r != SumRegionOpen {
+		t.Fatalf("region=%v, want open", r)
+	}
+}
+
+func TestSumRegionStrings(t *testing.T) {
+	for _, r := range []SumRegion{SumRegionFullKnowledge, SumRegionStrong, SumRegionLargeAlpha, SumRegionDense, SumRegionOpen} {
+		if r.String() == "unknown" {
+			t.Fatalf("region %d has no name", int(r))
+		}
+	}
+	if SumRegion(99).String() != "unknown" {
+		t.Fatal("unknown sum region name")
+	}
+}
+
+func TestSumLowerBound(t *testing.T) {
+	// Theorem 4.2 regime: α = 4k³, α <= n → Ω(n/k).
+	n, k := 100000, 5
+	alpha := 4.0 * 125
+	lb := SumLowerBound(n, k, alpha)
+	if want := float64(n) / float64(k); lb < want-1e-9 {
+		t.Fatalf("lb=%v, want >= %v", lb, want)
+	}
+	// No construction: tiny α.
+	if lb := SumLowerBound(1000, 10, 0.5); lb != 1 {
+		t.Fatalf("lb=%v, want 1", lb)
+	}
+}
+
+func TestSumLowerBoundLargeAlpha(t *testing.T) {
+	// α > n with α >= 4k³: Ω(1 + n²/(kα)).
+	n, k := 100, 2
+	alpha := 1000.0
+	lb := SumLowerBound(n, k, alpha)
+	want := 1 + float64(n)*float64(n)/(float64(k)*alpha)
+	if lb < want-1e-9 {
+		t.Fatalf("lb=%v, want >= %v", lb, want)
+	}
+}
+
+func TestFullKnowledgeSum(t *testing.T) {
+	if !FullKnowledgeSum(10, 4) { // 10 > 1+4
+		t.Fatal("k=10 α=4 should be full knowledge")
+	}
+	if FullKnowledgeSum(5, 4) { // 5 <= 5
+		t.Fatal("k=5 α=4 should not be full knowledge")
+	}
+}
+
+func TestFigure7Benchmark(t *testing.T) {
+	if f := Figure7Benchmark(2); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("f(2)=%v, want 1 (normalized)", f)
+	}
+	// The curve rises then falls: f(4) > f(2) is false?
+	// f(x) = x/2^{log² x}: f(2)=2/2=1, f(4)=4/2^4=0.25 — decreasing.
+	if Figure7Benchmark(4) >= Figure7Benchmark(2) {
+		t.Fatal("benchmark should decrease by k=4")
+	}
+	if Figure7Benchmark(32) >= Figure7Benchmark(8) {
+		t.Fatal("benchmark should keep decreasing")
+	}
+}
+
+func TestClassifyMaxCoversPlane(t *testing.T) {
+	// Every grid point must classify into some region without panicking.
+	for _, n := range []int{50, 1000, 100000} {
+		for _, k := range []int{1, 2, 5, 10, 100, 10000} {
+			for _, a := range []float64{0.1, 1, 2, 10, 1e3, 1e6} {
+				r := ClassifyMax(n, k, a)
+				if r.String() == "unknown" {
+					t.Fatalf("unclassified point n=%d k=%d α=%g", n, k, a)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,287 @@
+// Package construction builds the paper's lower-bound graphs — the cycle
+// of Lemma 3.1, the high-girth dense graphs of Lemma 3.2 / Theorem 4.3,
+// and the d-dimensional stretched torus of §3.1 (Figures 1–2, Theorem
+// 3.12, Lemma 4.1) — together with equilibrium audits and the distance
+// invariants (Lemma 3.3, Corollary 3.4) as checkable predicates.
+package construction
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/game"
+)
+
+// TorusParams describes the §3.1 construction: a d-dimensional "rotated
+// grid" torus whose i-th dimension has length δ_i, with every edge
+// stretched into a path of length ℓ.
+type TorusParams struct {
+	// D is the number of dimensions (d >= 2).
+	D int
+	// L is the stretch ℓ >= 1 (each grid edge becomes a path of length ℓ).
+	L int
+	// Delta holds δ_1..δ_d (each >= 2).
+	Delta []int
+}
+
+// Validate checks the parameter ranges required by the construction.
+func (p TorusParams) Validate() error {
+	if p.D < 2 {
+		return fmt.Errorf("construction: need d >= 2, got %d", p.D)
+	}
+	if p.L < 1 {
+		return fmt.Errorf("construction: need ℓ >= 1, got %d", p.L)
+	}
+	if len(p.Delta) != p.D {
+		return fmt.Errorf("construction: got %d dimension lengths for d=%d", len(p.Delta), p.D)
+	}
+	for i, d := range p.Delta {
+		if d < 2 {
+			return fmt.Errorf("construction: δ_%d = %d < 2", i+1, d)
+		}
+	}
+	return nil
+}
+
+// IntersectionCount returns N = 2·Πδ_i, the number of intersection
+// vertices.
+func (p TorusParams) IntersectionCount() int {
+	n := 2
+	for _, d := range p.Delta {
+		n *= d
+	}
+	return n
+}
+
+// VertexCount returns n = N·(1 + 2^{d-1}(ℓ-1)), matching the count in the
+// proof of Theorem 3.12.
+func (p TorusParams) VertexCount() int {
+	return p.IntersectionCount() * (1 + (1<<(p.D-1))*(p.L-1))
+}
+
+// Torus is the built construction: the game state (network + the paper's
+// edge ownership) plus coordinate metadata.
+type Torus struct {
+	Params TorusParams
+	State  *game.State
+	// Coords[v] is the coordinate tuple of vertex v; coordinate i is taken
+	// modulo 2·δ_i·ℓ.
+	Coords [][]int
+	// Intersection[v] reports whether v is an intersection vertex.
+	Intersection []bool
+	// id maps encoded coordinates to vertex ids.
+	id map[string]int
+}
+
+// BuildTorus constructs the §3.1 graph. Intersection vertices are the
+// tuples (ℓa_1,…,ℓa_d) with a_1 ≡ … ≡ a_d (mod 2); each is joined to the
+// 2^d tuples (x_1±ℓ, …, x_d±ℓ) by a path of length ℓ whose internal
+// vertices interpolate the coordinates one unit per step. Edge ownership
+// follows the paper: on the path ⟨u = x_0, x_1, …, x_ℓ = u'⟩, internal
+// vertex x_i buys the edge towards x_{i−1} and x_{ℓ−1} additionally buys
+// the edge towards u', so intersection vertices buy nothing. For ℓ = 1
+// (no internal vertices) the even-parity endpoint buys the edge — a
+// documented deviation, since the paper leaves ℓ = 1 ownership implicit.
+func BuildTorus(p TorusParams) (*Torus, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Torus{Params: p, id: make(map[string]int)}
+
+	// Enumerate intersection vertices: a-tuples with uniform parity.
+	var enumerate func(prefix []int, parity int, out *[][]int)
+	enumerate = func(prefix []int, parity int, out *[][]int) {
+		i := len(prefix)
+		if i == p.D {
+			coords := make([]int, p.D)
+			for j, a := range prefix {
+				coords[j] = a * p.L
+			}
+			*out = append(*out, coords)
+			return
+		}
+		for a := 0; a < 2*p.Delta[i]; a++ {
+			if a%2 != parity {
+				continue
+			}
+			enumerate(append(prefix, a), parity, out)
+		}
+	}
+	var inter [][]int
+	for parity := 0; parity < 2; parity++ {
+		var batch [][]int
+		enumerate(nil, parity, &batch)
+		inter = append(inter, batch...)
+	}
+	if len(inter) != p.IntersectionCount() {
+		return nil, fmt.Errorf("construction: enumerated %d intersection vertices, want %d", len(inter), p.IntersectionCount())
+	}
+
+	total := p.VertexCount()
+	t.State = game.NewState(total)
+	t.Coords = make([][]int, 0, total)
+	t.Intersection = make([]bool, total)
+
+	addVertex := func(coords []int, isInter bool) (int, error) {
+		key := t.encode(coords)
+		if v, ok := t.id[key]; ok {
+			if isInter != t.Intersection[v] {
+				return 0, fmt.Errorf("construction: coordinate collision at %v", coords)
+			}
+			return v, nil
+		}
+		v := len(t.Coords)
+		if v >= total {
+			return 0, fmt.Errorf("construction: vertex overflow at %v (capacity %d)", coords, total)
+		}
+		t.id[key] = v
+		t.Coords = append(t.Coords, append([]int(nil), coords...))
+		t.Intersection[v] = isInter
+		return v, nil
+	}
+
+	for _, c := range inter {
+		if _, err := addVertex(c, true); err != nil {
+			return nil, err
+		}
+	}
+
+	// Add paths from every even-parity intersection vertex along each sign
+	// vector; every path has exactly one even endpoint, so this covers
+	// each path exactly once.
+	mods := make([]int, p.D)
+	for i := range mods {
+		mods[i] = 2 * p.Delta[i] * p.L
+	}
+	for _, c := range inter {
+		if (c[0]/p.L)%2 != 0 {
+			continue // odd-parity endpoint; path added from the even side
+		}
+		for signs := 0; signs < 1<<p.D; signs++ {
+			prev, err := addVertex(c, true)
+			if err != nil {
+				return nil, err
+			}
+			step := make([]int, p.D)
+			copy(step, c)
+			for j := 1; j <= p.L; j++ {
+				for i := 0; i < p.D; i++ {
+					if signs&(1<<i) != 0 {
+						step[i] = (step[i] + 1) % mods[i]
+					} else {
+						step[i] = (step[i] - 1 + mods[i]) % mods[i]
+					}
+				}
+				isInter := j == p.L
+				v, err := addVertex(step, isInter)
+				if err != nil {
+					return nil, err
+				}
+				// Ownership per the paper (x_j buys towards x_{j-1}; the
+				// last internal vertex also buys towards u'). For ℓ = 1
+				// the even endpoint buys the single edge.
+				switch {
+				case p.L == 1:
+					t.State.Buy(prev, v)
+				case j < p.L:
+					t.State.Buy(v, prev)
+				default: // j == ℓ: x_{ℓ-1} buys towards u'
+					t.State.Buy(prev, v)
+				}
+				prev = v
+			}
+		}
+	}
+	if len(t.Coords) != total {
+		return nil, fmt.Errorf("construction: built %d vertices, want %d", len(t.Coords), total)
+	}
+	if err := t.State.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// encode canonicalizes coordinates to a map key.
+func (t *Torus) encode(coords []int) string {
+	b := make([]byte, 0, 4*len(coords))
+	for i, c := range coords {
+		m := 2 * t.Params.Delta[i] * t.Params.L
+		c = ((c % m) + m) % m
+		b = append(b, byte(c), byte(c>>8), byte(c>>16), ',')
+	}
+	return string(b)
+}
+
+// VertexAt returns the id of the vertex with the given coordinates, or -1.
+func (t *Torus) VertexAt(coords []int) int {
+	if v, ok := t.id[t.encode(coords)]; ok {
+		return v
+	}
+	return -1
+}
+
+// CoordinateLowerBound evaluates the right-hand side of Lemma 3.3:
+// max_i min{|x_i−y_i|, 2δ_iℓ−|x_i−y_i|}.
+func (t *Torus) CoordinateLowerBound(x, y int) int {
+	best := 0
+	for i := 0; i < t.Params.D; i++ {
+		diff := t.Coords[x][i] - t.Coords[y][i]
+		if diff < 0 {
+			diff = -diff
+		}
+		m := 2 * t.Params.Delta[i] * t.Params.L
+		wrap := m - diff
+		d := diff
+		if wrap < d {
+			d = wrap
+		}
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// DiameterLowerBound returns ℓ·δ_d (Corollary 3.4).
+func (t *Torus) DiameterLowerBound() int {
+	return t.Params.L * t.Params.Delta[t.Params.D-1]
+}
+
+// Theorem312Params derives the construction parameters used in the proof
+// of Theorem 3.12 for a target vertex budget n and parameters k, α:
+// ℓ = ⌈α⌉ (at least 2 so internal vertices exist), d = ⌈log2(k/ℓ + 2)⌉
+// (at least 2), δ_1..d−1 = ⌈k/ℓ⌉ + 1, and δ_d grown until the vertex count
+// approaches n. It returns an error when no δ_d >= δ_1 fits in n (the
+// theorem's k <= 2^(√log n − 3) regime).
+func Theorem312Params(n, k int, alpha float64) (TorusParams, error) {
+	if alpha <= 1 || float64(k) < alpha {
+		return TorusParams{}, fmt.Errorf("construction: Theorem 3.12 needs 1 < α <= k (α=%g k=%d)", alpha, k)
+	}
+	l := int(math.Ceil(alpha))
+	if l < 2 {
+		l = 2
+	}
+	d := int(math.Ceil(math.Log2(float64(k)/float64(l) + 2)))
+	if d < 2 {
+		d = 2
+	}
+	base := (k + l - 1) / l // ⌈k/ℓ⌉
+	delta := make([]int, d)
+	for i := 0; i < d-1; i++ {
+		delta[i] = base + 1
+	}
+	delta[d-1] = base + 1
+	p := TorusParams{D: d, L: l, Delta: delta}
+	if p.VertexCount() > n {
+		return TorusParams{}, fmt.Errorf("construction: minimal torus needs %d > %d vertices (k too large for n)", p.VertexCount(), n)
+	}
+	// Grow the last dimension to fill the budget.
+	for {
+		delta[d-1]++
+		if p.VertexCount() > n {
+			delta[d-1]--
+			break
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,185 @@
+package dynamics
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/game"
+	"repro/internal/gen"
+)
+
+func TestRunConvergesOnStar(t *testing.T) {
+	// A star with α > 1 is already an equilibrium for MAXNCG.
+	s := game.NewState(8)
+	for v := 1; v < 8; v++ {
+		s.Buy(v, 0)
+	}
+	cfg := DefaultConfig(game.Max, 3, 4)
+	res := Run(s, cfg)
+	if res.Status != Converged {
+		t.Fatalf("status=%v, want converged", res.Status)
+	}
+	if res.Rounds != 1 || res.TotalMoves != 0 {
+		t.Fatalf("rounds=%d moves=%d, want 1, 0", res.Rounds, res.TotalMoves)
+	}
+}
+
+func TestRunImprovesFromPath(t *testing.T) {
+	// A long path with cheap edges should restructure into something with
+	// much smaller diameter and converge.
+	s := game.FromGraphLowOwners(gen.Path(20))
+	cfg := DefaultConfig(game.Max, 0.5, 1000)
+	cfg.CollectPerRound = true
+	before := game.SocialCost(s.Clone(), game.Max, 0.5)
+	res := Run(s, cfg)
+	if res.Status != Converged {
+		t.Fatalf("status=%v, want converged", res.Status)
+	}
+	after := res.FinalStats.SocialCost
+	if after >= before {
+		t.Fatalf("social cost did not improve: before=%v after=%v", before, after)
+	}
+	if res.FinalStats.Diameter > 4 {
+		t.Fatalf("full-knowledge equilibrium diameter=%d, implausibly large", res.FinalStats.Diameter)
+	}
+	if len(res.PerRound) != res.Rounds {
+		t.Fatalf("per-round stats length=%d, rounds=%d", len(res.PerRound), res.Rounds)
+	}
+}
+
+func TestRunFinalIsLKE(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		s := game.FromGraphRandomOwners(gen.RandomTree(15, rng), rng)
+		cfg := DefaultConfig(game.Max, 1, 3)
+		res := Run(s, cfg)
+		if res.Status == Converged && !IsLKE(res.Final, cfg) {
+			t.Fatalf("trial %d: converged state fails the LKE audit", trial)
+		}
+	}
+}
+
+func TestRunSumVariantConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := game.FromGraphRandomOwners(gen.RandomTree(10, rng), rng)
+	cfg := DefaultConfig(game.Sum, 1.5, 2)
+	res := Run(s, cfg)
+	if res.Status == RoundLimit {
+		t.Fatalf("SUM dynamics hit the round limit: %+v", res.FinalStats)
+	}
+	if err := res.Final.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNilResponderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run with nil responder did not panic")
+		}
+	}()
+	Run(game.NewState(3), Config{})
+}
+
+func TestStatusString(t *testing.T) {
+	if Converged.String() != "converged" || Cycled.String() != "cycled" ||
+		RoundLimit.String() != "round-limit" || Status(9).String() != "unknown" {
+		t.Fatal("status strings wrong")
+	}
+}
+
+func TestFirstDeviator(t *testing.T) {
+	// Path with cheap α: some player deviates; after running to
+	// convergence, nobody does.
+	s := game.FromGraphLowOwners(gen.Path(10))
+	cfg := DefaultConfig(game.Max, 0.5, 1000)
+	if FirstDeviator(s, cfg) == -1 {
+		t.Fatal("fresh path should have a deviator at α=0.5")
+	}
+	res := Run(s, cfg)
+	if res.Status == Converged && FirstDeviator(res.Final, cfg) != -1 {
+		t.Fatal("converged state still has a deviator")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	cells := Grid([]float64{1, 2}, []int{3, 4, 5}, 7)
+	if len(cells) != 2*3*7 {
+		t.Fatalf("grid size=%d, want 42", len(cells))
+	}
+	if cells[0].Alpha != 1 || cells[0].K != 3 || cells[0].Seed != 0 {
+		t.Fatalf("first cell=%+v", cells[0])
+	}
+	last := cells[len(cells)-1]
+	if last.Alpha != 2 || last.K != 5 || last.Seed != 6 {
+		t.Fatalf("last cell=%+v", last)
+	}
+}
+
+func TestSweepDeterminism(t *testing.T) {
+	cells := Grid([]float64{0.5, 2}, []int{2, 1000}, 3)
+	factory := func(cell Cell, rng *rand.Rand) *game.State {
+		return game.FromGraphRandomOwners(gen.RandomTree(12, rng), rng)
+	}
+	cfg := DefaultConfig(game.Max, 0, 0)
+	run1 := Sweep(cells, cfg, factory, 99)
+	run2 := Sweep(cells, cfg, factory, 99)
+	if len(run1) != len(cells) {
+		t.Fatalf("results length=%d", len(run1))
+	}
+	for i := range run1 {
+		a, b := run1[i], run2[i]
+		if a.Cell != b.Cell {
+			t.Fatalf("cell %d mismatch: %+v vs %+v", i, a.Cell, b.Cell)
+		}
+		if a.Result.Status != b.Result.Status ||
+			a.Result.Rounds != b.Result.Rounds ||
+			a.Result.TotalMoves != b.Result.TotalMoves ||
+			a.Result.Final.Fingerprint() != b.Result.Final.Fingerprint() {
+			t.Fatalf("cell %d nondeterministic: %+v vs %+v", i, a.Result.FinalStats, b.Result.FinalStats)
+		}
+	}
+}
+
+func TestSweepDifferentSeedsDiffer(t *testing.T) {
+	cells := Grid([]float64{1}, []int{3}, 4)
+	factory := func(cell Cell, rng *rand.Rand) *game.State {
+		return game.FromGraphRandomOwners(gen.RandomTree(15, rng), rng)
+	}
+	cfg := DefaultConfig(game.Max, 0, 0)
+	res := Sweep(cells, cfg, factory, 1)
+	fingerprints := map[uint64]bool{}
+	for _, r := range res {
+		fingerprints[r.Result.Final.Fingerprint()] = true
+	}
+	if len(fingerprints) < 2 {
+		t.Fatal("all seeds produced identical equilibria — per-cell RNG is broken")
+	}
+}
+
+func TestCellSeedSpread(t *testing.T) {
+	seen := map[int64]bool{}
+	for a := 0; a < 5; a++ {
+		for k := 0; k < 5; k++ {
+			for s := 0; s < 5; s++ {
+				seen[cellSeed(7, Cell{Alpha: float64(a), K: k, Seed: int64(s)})] = true
+			}
+		}
+	}
+	if len(seen) != 125 {
+		t.Fatalf("cellSeed collisions: %d unique of 125", len(seen))
+	}
+}
+
+func TestRoundLimit(t *testing.T) {
+	s := game.FromGraphLowOwners(gen.Path(30))
+	cfg := DefaultConfig(game.Max, 0.1, 2)
+	cfg.MaxRounds = 1
+	res := Run(s, cfg)
+	if res.Status == Converged && res.TotalMoves > 0 {
+		t.Fatal("cannot be converged after a single busy round")
+	}
+	if res.Rounds != 1 {
+		t.Fatalf("rounds=%d, want 1", res.Rounds)
+	}
+}

@@ -1,0 +1,231 @@
+// Package dynamics implements the paper's simulation machinery (§5.1):
+// round-robin best-response dynamics with cycle detection, per-round
+// feature collection, and a parallel sweep runner for the (α, k, seed)
+// experiment grids.
+package dynamics
+
+import (
+	"repro/internal/bestresponse"
+	"repro/internal/game"
+	"repro/internal/view"
+)
+
+// Responder computes a (best or better) response for one player. It must
+// be deterministic for cycle detection to be sound.
+type Responder func(s *game.State, u, k int, alpha float64) bestresponse.Response
+
+// MaxResponder is the exact MAXNCG best responder (§5.3 reduction).
+func MaxResponder(s *game.State, u, k int, alpha float64) bestresponse.Response {
+	return bestresponse.MaxBestResponse(s, u, k, alpha)
+}
+
+// SumResponder is a SUMNCG responder: exact subset search when the view is
+// small, greedy local moves otherwise (see DESIGN.md §3, substitution 4).
+func SumResponder(maxCandidates int) Responder {
+	return func(s *game.State, u, k int, alpha float64) bestresponse.Response {
+		ex := bestresponse.SumBestResponseExhaustive(s, u, k, alpha, maxCandidates)
+		if ex.Feasible {
+			return ex.Response
+		}
+		return bestresponse.SumGreedyResponse(s, u, k, alpha)
+	}
+}
+
+// Status describes how a dynamics run ended.
+type Status int
+
+const (
+	// Converged: a full round completed with no strategy change.
+	Converged Status = iota
+	// Cycled: the end-of-round profile repeated an earlier round's profile
+	// with intervening moves — under round-robin deterministic responders
+	// the dynamics will loop forever (§5.1).
+	Cycled
+	// RoundLimit: the round budget was exhausted without convergence or a
+	// detected cycle.
+	RoundLimit
+)
+
+// String names the status.
+func (st Status) String() string {
+	switch st {
+	case Converged:
+		return "converged"
+	case Cycled:
+		return "cycled"
+	case RoundLimit:
+		return "round-limit"
+	default:
+		return "unknown"
+	}
+}
+
+// RoundStats captures the network features the paper collects after each
+// round (§5.1: diameter, social cost, degrees, bought edges, view sizes).
+type RoundStats struct {
+	Round       int
+	Moves       int
+	Diameter    int
+	SocialCost  float64
+	MaxDegree   int
+	AvgDegree   float64
+	MinBought   int
+	MaxBought   int
+	AvgBought   float64
+	MinViewSize int
+	MaxViewSize int
+	AvgViewSize float64
+	Quality     float64
+	Unfairness  float64
+}
+
+// Result is the outcome of one dynamics run.
+type Result struct {
+	Status     Status
+	Rounds     int
+	TotalMoves int
+	Final      *game.State
+	PerRound   []RoundStats
+	// FinalStats repeats the last collected round statistics for
+	// convenience (zero value when no round ran).
+	FinalStats RoundStats
+}
+
+// Config parameterizes a dynamics run.
+type Config struct {
+	Variant   game.Variant
+	Alpha     float64
+	K         int
+	Responder Responder
+	// MaxRounds bounds the run; cycle detection starts once the round
+	// count exceeds CycleCheckAfter (the paper checks after a time
+	// threshold; we use rounds as the deterministic analogue).
+	MaxRounds       int
+	CycleCheckAfter int
+	// CollectPerRound enables per-round statistics (costly: all-pairs BFS
+	// per round). The final round is always collected.
+	CollectPerRound bool
+}
+
+// DefaultConfig mirrors the paper's setup for the given variant.
+func DefaultConfig(variant game.Variant, alpha float64, k int) Config {
+	r := MaxResponder
+	if variant == game.Sum {
+		r = SumResponder(16)
+	}
+	return Config{
+		Variant:         variant,
+		Alpha:           alpha,
+		K:               k,
+		Responder:       r,
+		MaxRounds:       200,
+		CycleCheckAfter: 30,
+	}
+}
+
+// Run executes round-robin best-response dynamics on state s (§5.1): in
+// each round every player, in id order, computes a response according to
+// her local view; strictly improving responses are applied immediately.
+// The run stops at convergence (a full quiet round), on a detected
+// best-response cycle, or at the round budget. s is mutated in place.
+func Run(s *game.State, cfg Config) Result {
+	if cfg.Responder == nil {
+		panic("dynamics: nil responder")
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 200
+	}
+	res := Result{Final: s}
+	seen := map[uint64]int{} // end-of-round fingerprint → round index
+	n := s.N()
+	for round := 1; round <= cfg.MaxRounds; round++ {
+		moves := 0
+		for u := 0; u < n; u++ {
+			r := cfg.Responder(s, u, cfg.K, cfg.Alpha)
+			if r.Improving {
+				s.SetStrategy(u, r.Strategy)
+				moves++
+			}
+		}
+		res.Rounds = round
+		res.TotalMoves += moves
+		if cfg.CollectPerRound {
+			res.PerRound = append(res.PerRound, collect(s, cfg, round, moves))
+		}
+		if moves == 0 {
+			res.Status = Converged
+			break
+		}
+		fp := s.Fingerprint()
+		if round > cfg.CycleCheckAfter {
+			if _, dup := seen[fp]; dup {
+				res.Status = Cycled
+				break
+			}
+		}
+		seen[fp] = round
+		if round == cfg.MaxRounds {
+			res.Status = RoundLimit
+		}
+	}
+	res.FinalStats = collect(s, cfg, res.Rounds, 0)
+	if len(res.PerRound) > 0 {
+		res.FinalStats.Moves = res.PerRound[len(res.PerRound)-1].Moves
+	}
+	return res
+}
+
+// collect computes the round statistics on the current network.
+func collect(s *game.State, cfg Config, round, moves int) RoundStats {
+	g := s.Graph()
+	n := s.N()
+	st := RoundStats{
+		Round:      round,
+		Moves:      moves,
+		Diameter:   g.Diameter(),
+		SocialCost: game.SocialCost(s, cfg.Variant, cfg.Alpha),
+		MaxDegree:  g.MaxDegree(),
+		AvgDegree:  g.AverageDegree(),
+		MinBought:  s.MinBought(),
+		MaxBought:  s.MaxBought(),
+		Quality:    game.Quality(s, cfg.Variant, cfg.Alpha),
+		Unfairness: game.Unfairness(s, cfg.Variant, cfg.Alpha),
+	}
+	if n > 0 {
+		st.AvgBought = float64(s.TotalBought()) / float64(n)
+		minV, maxV, sumV := n+1, 0, 0
+		for u := 0; u < n; u++ {
+			sz := view.Extract(g, u, cfg.K).Size()
+			if sz < minV {
+				minV = sz
+			}
+			if sz > maxV {
+				maxV = sz
+			}
+			sumV += sz
+		}
+		st.MinViewSize = minV
+		st.MaxViewSize = maxV
+		st.AvgViewSize = float64(sumV) / float64(n)
+	}
+	return st
+}
+
+// IsLKE audits whether s is a Local Knowledge Equilibrium for the given
+// responder: no player has a strictly improving response. This is exact
+// when the responder is exact (MAXNCG), and a "local-move equilibrium"
+// audit otherwise.
+func IsLKE(s *game.State, cfg Config) bool {
+	return FirstDeviator(s, cfg) == -1
+}
+
+// FirstDeviator returns the lowest-id player with a strictly improving
+// response, or -1 when s is stable.
+func FirstDeviator(s *game.State, cfg Config) int {
+	for u := 0; u < s.N(); u++ {
+		if cfg.Responder(s, u, cfg.K, cfg.Alpha).Improving {
+			return u
+		}
+	}
+	return -1
+}

@@ -1,0 +1,102 @@
+package dynamics
+
+import (
+	"math/rand"
+
+	"repro/internal/bestresponse"
+	"repro/internal/game"
+)
+
+// Schedule determines the player order within each round. The paper uses
+// round-robin (§5.1); the alternatives support ablations on how much the
+// activation order matters for convergence speed and equilibrium quality.
+type Schedule int
+
+const (
+	// RoundRobin activates players 0..n-1 in id order every round
+	// (the paper's §5.1 policy).
+	RoundRobin Schedule = iota
+	// FixedPermutation draws one random permutation up front and reuses
+	// it every round.
+	FixedPermutation
+	// RandomEachRound draws a fresh permutation every round. Cycle
+	// detection is disabled (repeats are no longer conclusive).
+	RandomEachRound
+)
+
+// String names the schedule.
+func (s Schedule) String() string {
+	switch s {
+	case RoundRobin:
+		return "round-robin"
+	case FixedPermutation:
+		return "fixed-permutation"
+	case RandomEachRound:
+		return "random-each-round"
+	default:
+		return "unknown"
+	}
+}
+
+// MaxGreedyResponder is the single-move "better response" for MAXNCG —
+// the dynamics variant whose divergence the paper cites from
+// Kawald–Lenzner (§2).
+func MaxGreedyResponder(s *game.State, u, k int, alpha float64) bestresponse.Response {
+	return bestresponse.MaxGreedyResponse(s, u, k, alpha)
+}
+
+// RunScheduled is Run with an explicit activation schedule. rng is used
+// by the permutation schedules and may be nil for RoundRobin.
+func RunScheduled(s *game.State, cfg Config, schedule Schedule, rng *rand.Rand) Result {
+	if schedule == RoundRobin {
+		return Run(s, cfg)
+	}
+	if cfg.Responder == nil {
+		panic("dynamics: nil responder")
+	}
+	if rng == nil {
+		panic("dynamics: permutation schedules need an RNG")
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 200
+	}
+	res := Result{Final: s}
+	seen := map[uint64]int{}
+	n := s.N()
+	order := rng.Perm(n)
+	for round := 1; round <= cfg.MaxRounds; round++ {
+		if schedule == RandomEachRound {
+			order = rng.Perm(n)
+		}
+		moves := 0
+		for _, u := range order {
+			r := cfg.Responder(s, u, cfg.K, cfg.Alpha)
+			if r.Improving {
+				s.SetStrategy(u, r.Strategy)
+				moves++
+			}
+		}
+		res.Rounds = round
+		res.TotalMoves += moves
+		if cfg.CollectPerRound {
+			res.PerRound = append(res.PerRound, collect(s, cfg, round, moves))
+		}
+		if moves == 0 {
+			res.Status = Converged
+			break
+		}
+		if schedule == FixedPermutation && round > cfg.CycleCheckAfter {
+			fp := s.Fingerprint()
+			if _, dup := seen[fp]; dup {
+				res.Status = Cycled
+				break
+			}
+			seen[fp] = round
+		}
+		if round == cfg.MaxRounds {
+			res.Status = RoundLimit
+		}
+	}
+	res.FinalStats = collect(s, cfg, res.Rounds, 0)
+	return res
+}

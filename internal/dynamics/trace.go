@@ -1,0 +1,109 @@
+package dynamics
+
+import (
+	"fmt"
+
+	"repro/internal/game"
+)
+
+// Move records one applied strategy change.
+type Move struct {
+	Round  int
+	Player int
+	// Old and New are the strategies before and after (sorted).
+	Old []int
+	New []int
+	// CostBefore/CostAfter are the player's view-evaluated costs.
+	CostBefore float64
+	CostAfter  float64
+}
+
+// String renders the move compactly.
+func (m Move) String() string {
+	return fmt.Sprintf("r%d p%d: %v -> %v (%.2f -> %.2f)",
+		m.Round, m.Player, m.Old, m.New, m.CostBefore, m.CostAfter)
+}
+
+// RunTraced is Run with a full move log: every applied strategy change is
+// recorded, which supports replay, debugging of non-convergence, and the
+// §5.1 "total number of strategy changes" statistic at move granularity.
+func RunTraced(s *game.State, cfg Config) (Result, []Move) {
+	if cfg.Responder == nil {
+		panic("dynamics: nil responder")
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 200
+	}
+	var moves []Move
+	res := Result{Final: s}
+	seen := map[uint64]int{}
+	n := s.N()
+	for round := 1; round <= cfg.MaxRounds; round++ {
+		changed := 0
+		for u := 0; u < n; u++ {
+			r := cfg.Responder(s, u, cfg.K, cfg.Alpha)
+			if !r.Improving {
+				continue
+			}
+			moves = append(moves, Move{
+				Round:      round,
+				Player:     u,
+				Old:        s.Strategy(u),
+				New:        append([]int(nil), r.Strategy...),
+				CostBefore: r.CurrentCost,
+				CostAfter:  r.Cost,
+			})
+			s.SetStrategy(u, r.Strategy)
+			changed++
+		}
+		res.Rounds = round
+		res.TotalMoves += changed
+		if cfg.CollectPerRound {
+			res.PerRound = append(res.PerRound, collect(s, cfg, round, changed))
+		}
+		if changed == 0 {
+			res.Status = Converged
+			break
+		}
+		fp := s.Fingerprint()
+		if round > cfg.CycleCheckAfter {
+			if _, dup := seen[fp]; dup {
+				res.Status = Cycled
+				break
+			}
+		}
+		seen[fp] = round
+		if round == cfg.MaxRounds {
+			res.Status = RoundLimit
+		}
+	}
+	res.FinalStats = collect(s, cfg, res.Rounds, 0)
+	return res, moves
+}
+
+// Replay applies a move log to a fresh copy of the starting state and
+// returns the reconstructed final state. It errors when a move's Old
+// strategy does not match the state (log/state mismatch).
+func Replay(start *game.State, moves []Move) (*game.State, error) {
+	s := start.Clone()
+	for i, m := range moves {
+		cur := s.Strategy(m.Player)
+		if !equalInts(cur, m.Old) {
+			return nil, fmt.Errorf("dynamics: move %d expects %v, state has %v", i, m.Old, cur)
+		}
+		s.SetStrategy(m.Player, m.New)
+	}
+	return s, nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

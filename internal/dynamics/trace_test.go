@@ -1,0 +1,82 @@
+package dynamics
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/game"
+	"repro/internal/gen"
+)
+
+func TestRunTracedMatchesRun(t *testing.T) {
+	s1 := game.FromGraphLowOwners(gen.Path(15))
+	s2 := game.FromGraphLowOwners(gen.Path(15))
+	cfg := DefaultConfig(game.Max, 1, 4)
+	plain := Run(s1, cfg)
+	traced, moves := RunTraced(s2, cfg)
+	if plain.Status != traced.Status || plain.Rounds != traced.Rounds ||
+		plain.TotalMoves != traced.TotalMoves {
+		t.Fatalf("traced run deviates: %+v vs %+v", plain.FinalStats, traced.FinalStats)
+	}
+	if len(moves) != traced.TotalMoves {
+		t.Fatalf("move log has %d entries, TotalMoves=%d", len(moves), traced.TotalMoves)
+	}
+	if plain.Final.Fingerprint() != traced.Final.Fingerprint() {
+		t.Fatal("final states differ")
+	}
+}
+
+func TestReplayReconstructsFinal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	start := game.FromGraphRandomOwners(gen.RandomTree(18, rng), rng)
+	snapshot := start.Clone()
+	cfg := DefaultConfig(game.Max, 2, 3)
+	res, moves := RunTraced(start, cfg)
+	rebuilt, err := Replay(snapshot, moves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Fingerprint() != res.Final.Fingerprint() {
+		t.Fatal("replay does not reconstruct the final state")
+	}
+}
+
+func TestReplayDetectsMismatch(t *testing.T) {
+	start := game.FromGraphLowOwners(gen.Path(6))
+	moves := []Move{{Round: 1, Player: 0, Old: []int{5}, New: []int{2}}}
+	if _, err := Replay(start, moves); err == nil {
+		t.Fatal("mismatched move accepted")
+	}
+}
+
+func TestMoveCostsAreImprovements(t *testing.T) {
+	s := game.FromGraphLowOwners(gen.Path(20))
+	cfg := DefaultConfig(game.Max, 0.5, 1000)
+	_, moves := RunTraced(s, cfg)
+	if len(moves) == 0 {
+		t.Fatal("expected moves on a cheap-α path")
+	}
+	for _, m := range moves {
+		if m.CostAfter >= m.CostBefore {
+			t.Fatalf("non-improving move logged: %v", m)
+		}
+	}
+}
+
+func TestMoveString(t *testing.T) {
+	m := Move{Round: 2, Player: 7, Old: []int{1}, New: []int{3}, CostBefore: 5, CostAfter: 4}
+	out := m.String()
+	if !strings.Contains(out, "r2 p7") || !strings.Contains(out, "[1] -> [3]") {
+		t.Fatalf("move string: %s", out)
+	}
+}
+
+func TestRunTracedNilResponderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	RunTraced(game.NewState(2), Config{})
+}

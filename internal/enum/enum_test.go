@@ -1,0 +1,150 @@
+package enum
+
+import (
+	"testing"
+
+	"repro/internal/game"
+)
+
+func TestEnumerateRejectsBadN(t *testing.T) {
+	if _, err := Enumerate(1, game.Max, 1, 2); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := Enumerate(6, game.Max, 1, 2); err == nil {
+		t.Fatal("n=6 accepted")
+	}
+}
+
+func TestEnumerateTwoPlayers(t *testing.T) {
+	// n=2: profiles are subsets of one edge per player. Connected
+	// profiles: at least one buys the edge. At α=2, MAX costs:
+	// buyer pays α+1, the other 1. NE: exactly-one-buyer profiles
+	// (dropping your only edge disconnects you; buying the second copy
+	// wastes α). Both such profiles are NE and LKE at any k >= 1.
+	res, err := Enumerate(2, game.Max, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profiles != 4 {
+		t.Fatalf("profiles=%d, want 4", res.Profiles)
+	}
+	if len(res.NE) != 2 {
+		t.Fatalf("NE count=%d, want 2", len(res.NE))
+	}
+	if len(res.LKE) != 2 {
+		t.Fatalf("LKE count=%d, want 2", len(res.LKE))
+	}
+	if res.OptCost != 2+2 { // α·1 + ecc 1 + ecc 1
+		t.Fatalf("opt=%v, want 4", res.OptCost)
+	}
+	if res.PoANE() != 1 || res.PoALKE() != 1 {
+		t.Fatalf("PoA: NE=%v LKE=%v, want 1", res.PoANE(), res.PoALKE())
+	}
+}
+
+func TestNESubsetOfLKEMax(t *testing.T) {
+	// The paper's §1 claim, machine-checked: every NE is an LKE (the
+	// local worst-case rule only removes deviation options).
+	for _, alpha := range []float64{0.5, 1.5, 3} {
+		for _, k := range []int{1, 2, 3} {
+			res, err := Enumerate(3, game.Max, alpha, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ne := range res.NE {
+				if !ContainsProfile(res.LKE, ne) {
+					t.Fatalf("α=%v k=%d: NE %v missing from LKE set", alpha, k, ne)
+				}
+			}
+			if res.PoALKE() < res.PoANE()-1e-9 {
+				t.Fatalf("α=%v k=%d: PoA(LKE)=%v < PoA(NE)=%v", alpha, k,
+					res.PoALKE(), res.PoANE())
+			}
+		}
+	}
+}
+
+func TestNESubsetOfLKESum(t *testing.T) {
+	for _, alpha := range []float64{1.5, 3} {
+		res, err := Enumerate(3, game.Sum, alpha, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ne := range res.NE {
+			if !ContainsProfile(res.LKE, ne) {
+				t.Fatalf("α=%v: SUM NE %v missing from LKE set", alpha, ne)
+			}
+		}
+		if res.PoALKE() < res.PoANE()-1e-9 {
+			t.Fatalf("α=%v: PoA(LKE) < PoA(NE)", alpha)
+		}
+	}
+}
+
+func TestEnumerateFourPlayers(t *testing.T) {
+	res, err := Enumerate(4, game.Max, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profiles != 8*8*8*8 {
+		t.Fatalf("profiles=%d, want 4096", res.Profiles)
+	}
+	if len(res.NE) == 0 || len(res.LKE) == 0 {
+		t.Fatal("no equilibria found at n=4, α=2")
+	}
+	for _, ne := range res.NE {
+		if !ContainsProfile(res.LKE, ne) {
+			t.Fatal("NE ⊄ LKE at n=4")
+		}
+	}
+	// The social optimum at α=2 is a spanning-tree-like profile; it must
+	// match the closed-form star bound.
+	if want := game.StarSocialCost(4, game.Max, 2); res.OptCost > want+1e-9 {
+		t.Fatalf("opt=%v above star cost %v", res.OptCost, want)
+	}
+}
+
+func TestProfileApplyRoundTrip(t *testing.T) {
+	p := Profile{N: 3, Strategies: []uint32{0b010, 0b100, 0b000}}
+	s := p.Apply()
+	if !s.Buys(0, 1) || !s.Buys(1, 2) || s.BoughtCount(2) != 0 {
+		t.Fatalf("apply: %v", s)
+	}
+	if s.Graph().M() != 2 {
+		t.Fatalf("edges=%d", s.Graph().M())
+	}
+}
+
+func TestContainsProfile(t *testing.T) {
+	a := Profile{N: 2, Strategies: []uint32{0b10, 0}}
+	b := Profile{N: 2, Strategies: []uint32{0, 0b01}}
+	list := []Profile{a}
+	if !ContainsProfile(list, a) {
+		t.Fatal("missing identical profile")
+	}
+	if ContainsProfile(list, b) {
+		t.Fatal("found different profile")
+	}
+}
+
+func TestSmallKWidensLKESet(t *testing.T) {
+	// Restricting the view can only ADD equilibria (fewer visible
+	// deviations). Compare LKE counts at k=1 vs k=3 on n=3.
+	small, err := Enumerate(3, game.Max, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Enumerate(3, game.Max, 1.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small.LKE) < len(large.LKE) {
+		t.Fatalf("k=1 has %d LKEs, k=3 has %d — locality should not remove equilibria",
+			len(small.LKE), len(large.LKE))
+	}
+	for _, lke := range large.LKE {
+		if !ContainsProfile(small.LKE, lke) {
+			t.Fatal("an LKE at k=3 vanished at k=1")
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/bounds"
+	"repro/internal/construction"
+	"repro/internal/dynamics"
+	"repro/internal/game"
+	"repro/internal/table"
+	"repro/internal/view"
+)
+
+// torusReport summarizes a built §3.1 torus: the quantities Figures 1–2
+// illustrate (vertex classes, degrees, view of the marked vertex) plus the
+// distance invariants of Lemma 3.3 / Corollary 3.4.
+func torusReport(title string, p construction.TorusParams, k int) (*table.Table, error) {
+	tor, err := construction.BuildTorus(p)
+	if err != nil {
+		return nil, err
+	}
+	g := tor.State.Graph()
+	inter := 0
+	for _, is := range tor.Intersection {
+		if is {
+			inter++
+		}
+	}
+	// The marked vertex (k*, …, k*) with k* = ℓ(δ₁−1), as in the figures.
+	kStar := p.L * (p.Delta[0] - 1)
+	coords := make([]int, p.D)
+	for i := range coords {
+		coords[i] = kStar
+	}
+	marked := tor.VertexAt(coords)
+	t := table.New(title, "quantity", "value")
+	t.AddRowf("dimensions d", p.D)
+	t.AddRowf("stretch ℓ", p.L)
+	t.AddRowf("δ", fmt.Sprint(p.Delta))
+	t.AddRowf("vertices n", g.N())
+	t.AddRowf("intersection vertices N", inter)
+	t.AddRowf("edges", g.M())
+	t.AddRowf("diameter", g.Diameter())
+	t.AddRowf("Corollary 3.4 lower bound ℓ·δ_d", tor.DiameterLowerBound())
+	if marked >= 0 {
+		v := view.Extract(g, marked, k)
+		t.AddRowf(fmt.Sprintf("view size of (k*,…,k*) at k=%d", k), v.Size())
+		t.AddRowf("frontier size", len(v.Frontier()))
+	}
+	return t, nil
+}
+
+// Figure1 reproduces Figure 1's construction: d = 2, δ = (15, 5), ℓ = 2,
+// with the view of the intersection vertex (k*, k*) at k = 4.
+func Figure1(Params) (*table.Table, error) {
+	return torusReport("Figure 1 — torus d=2, δ=(15,5), ℓ=2",
+		construction.TorusParams{D: 2, L: 2, Delta: []int{15, 5}}, 4)
+}
+
+// Figure2 reproduces Figure 2's construction: d = 2, δ = (3, 4), ℓ = 2.
+func Figure2(Params) (*table.Table, error) {
+	return torusReport("Figure 2 — torus d=2, δ=(3,4), ℓ=2",
+		construction.TorusParams{D: 2, L: 2, Delta: []int{3, 4}}, 4)
+}
+
+// TorusDOT renders a torus as Graphviz DOT (intersection vertices boxed),
+// for visual comparison against Figures 1–2.
+func TorusDOT(p construction.TorusParams) (string, error) {
+	tor, err := construction.BuildTorus(p)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("graph torus {\n")
+	for v, coords := range tor.Coords {
+		shape := "point"
+		if tor.Intersection[v] {
+			shape = "box"
+		}
+		fmt.Fprintf(&b, "  v%d [shape=%s,label=\"%v\"];\n", v, shape, coords)
+	}
+	for _, e := range tor.State.Graph().Edges() {
+		fmt.Fprintf(&b, "  v%d -- v%d;\n", e.U, e.V)
+	}
+	b.WriteString("}\n")
+	return b.String(), nil
+}
+
+// LowerBoundAudit verifies that the paper's lower-bound configurations are
+// LKE-stable under the exact MAXNCG responder and reports their social
+// cost ratio against the optimum — the experimental counterpart of
+// Lemma 3.1, Lemma 3.2, and Theorem 3.12.
+func LowerBoundAudit(p Params) *table.Table {
+	t := table.New("Lower-bound audit — constructions vs exact LKE check",
+		"construction", "n", "alpha", "k", "is LKE", "PoA ratio", "theory lower bound")
+	rng := rand.New(rand.NewSource(p.Seed + 42))
+
+	audit := func(name string, s *game.State, alpha float64, k int) {
+		cfg := dynamics.DefaultConfig(game.Max, alpha, k)
+		stable := dynamics.IsLKE(s, cfg)
+		ratio := game.Quality(s, game.Max, alpha)
+		t.AddRowf(name, s.N(), alpha, k, stable, ratio,
+			bounds.MaxLowerBound(s.N(), k, alpha))
+	}
+
+	// Lemma 3.1: cycle, α >= k−1.
+	if s, err := construction.CycleState(30); err == nil {
+		audit("Lemma 3.1 cycle", s, 3, 3)
+	}
+	// Lemma 3.2 at k=2 via the exact projective-plane incidence graph.
+	if s, err := construction.ProjectivePlaneState(3, rng); err == nil {
+		audit("Lemma 3.2 PG(2,3)", s, 1.5, 2)
+	}
+	// Lemma 3.2 at k=3 via the randomized high-girth generator (girth 8).
+	if s, err := construction.HighGirthState(60, 3, 3, rng); err == nil {
+		audit("Lemma 3.2 girth-8", s, 1.5, 3)
+	}
+	// Theorem 3.12 torus at α=2, k=4 (Figure 2's graph).
+	if tor, err := construction.BuildTorus(construction.TorusParams{D: 2, L: 2, Delta: []int{3, 4}}); err == nil {
+		audit("Theorem 3.12 torus", tor.State, 2, 4)
+	}
+	// A longer torus (larger δ₂) — diameter, and hence the ratio, grows.
+	if tor, err := construction.BuildTorus(construction.TorusParams{D: 2, L: 2, Delta: []int{3, 10}}); err == nil {
+		audit("Theorem 3.12 torus (long)", tor.State, 2, 4)
+	}
+	return t
+}
+
+// SumLowerBoundAudit verifies Lemma 4.1's SUMNCG equilibrium claim on the
+// d=2, ℓ=2 torus: for α >= 4k³ the construction is stable under the exact
+// (exhaustive) SUMNCG responder — feasible because each view is small.
+func SumLowerBoundAudit(p Params) *table.Table {
+	t := table.New("SUMNCG lower-bound audit (Lemma 4.1 / Theorem 4.2)",
+		"construction", "n", "alpha", "k", "stable (local audit)", "PoA ratio", "theory lower bound")
+	k := 2
+	alpha := float64(4 * k * k * k) // α = 4k³
+	tor, err := construction.BuildTorus(construction.TorusParams{
+		D: 2, L: 2, Delta: []int{k/2 + 1, 6},
+	})
+	if err != nil {
+		t.AddRowf("Lemma 4.1 torus", 0, alpha, k, false, 0.0, 0.0)
+		return t
+	}
+	cfg := dynamics.DefaultConfig(game.Sum, alpha, k)
+	stable := dynamics.IsLKE(tor.State, cfg)
+	t.AddRowf("Lemma 4.1 torus", tor.State.N(), alpha, k, stable,
+		game.Quality(tor.State, game.Sum, alpha),
+		bounds.SumLowerBound(tor.State.N(), k, alpha))
+	return t
+}

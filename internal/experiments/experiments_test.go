@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/construction"
+)
+
+func tiny() Params { return Params{Scale: ScaleCI, Seed: 7} }
+
+func TestTableI(t *testing.T) {
+	p := tiny()
+	tab := TableI(p)
+	if len(tab.Rows) != len(p.TreeSizes()) {
+		t.Fatalf("rows=%d, want %d", len(tab.Rows), len(p.TreeSizes()))
+	}
+	out := tab.String()
+	if !strings.Contains(out, "±") {
+		t.Fatal("no confidence intervals rendered")
+	}
+}
+
+func TestTableII(t *testing.T) {
+	p := tiny()
+	tab := TableII(p)
+	if len(tab.Rows) != len(p.ERConfigs()) {
+		t.Fatalf("rows=%d, want %d", len(tab.Rows), len(p.ERConfigs()))
+	}
+}
+
+func TestFigure1And2(t *testing.T) {
+	f1, err := Figure1(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f1.String(), "450") {
+		t.Fatalf("Figure 1 should report n=450:\n%s", f1)
+	}
+	f2, err := Figure2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f2.String(), "72") {
+		t.Fatalf("Figure 2 should report n=72:\n%s", f2)
+	}
+}
+
+func TestTorusDOT(t *testing.T) {
+	dot, err := TorusDOT(construction.TorusParams{D: 2, L: 2, Delta: []int{3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(dot, "graph torus {") || !strings.Contains(dot, "--") {
+		t.Fatalf("bad DOT output:\n%.200s", dot)
+	}
+}
+
+func TestFigure3And4(t *testing.T) {
+	f3 := Figure3(100000)
+	if len(f3.Rows) != len(regionGridAlphas)*len(regionGridKs) {
+		t.Fatalf("figure 3 rows=%d", len(f3.Rows))
+	}
+	if !strings.Contains(f3.String(), "NE≡LKE") {
+		t.Fatal("figure 3 lacks the full-knowledge region")
+	}
+	f4 := Figure4(100000)
+	if !strings.Contains(f4.String(), "Ω(n/k)") {
+		t.Fatal("figure 4 lacks the strong lower-bound region")
+	}
+}
+
+func TestLowerBoundAudit(t *testing.T) {
+	tab := LowerBoundAudit(tiny())
+	out := tab.String()
+	if strings.Contains(out, "false") {
+		t.Fatalf("a lower-bound construction failed its LKE audit:\n%s", out)
+	}
+	if len(tab.Rows) < 4 {
+		t.Fatalf("audit covered only %d constructions:\n%s", len(tab.Rows), out)
+	}
+}
+
+func TestSumLowerBoundAudit(t *testing.T) {
+	tab := SumLowerBoundAudit(tiny())
+	out := tab.String()
+	if strings.Contains(out, "false") {
+		t.Fatalf("SUM lower-bound construction failed its audit:\n%s", out)
+	}
+}
+
+func TestScalesDiffer(t *testing.T) {
+	ci, paper := Params{Scale: ScaleCI}, Params{Scale: ScalePaper}
+	if len(paper.Alphas()) != 15 || len(paper.Ks()) != 12 || paper.Seeds() != 20 {
+		t.Fatal("paper scale does not match §5.1")
+	}
+	if len(ci.Alphas()) >= len(paper.Alphas()) {
+		t.Fatal("CI α grid should be smaller")
+	}
+	if ci.DynamicsTreeSize() >= paper.DynamicsTreeSize() {
+		t.Fatal("CI tree size should be smaller")
+	}
+}

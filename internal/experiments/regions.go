@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+	"repro/internal/table"
+)
+
+// regionGridAlphas and regionGridKs sample the (α, k) plane for the
+// Figure 3/4 region maps.
+var regionGridAlphas = []float64{0.5, 1, 2, 5, 10, 50, 200, 1e3, 1e4, 1e6}
+var regionGridKs = []int{1, 2, 3, 5, 8, 16, 32, 128, 1024, 1 << 16}
+
+// Figure3 reproduces Figure 3 as a table: for each sampled (α, k) pair at
+// a given n, the region of the MAXNCG PoA map plus the evaluated lower
+// and upper bound formulas (constants set to 1).
+func Figure3(n int) *table.Table {
+	t := table.New(fmt.Sprintf("Figure 3 — MAXNCG PoA regions (n = %d)", n),
+		"alpha", "k", "region", "lower bound", "upper bound")
+	for _, a := range regionGridAlphas {
+		for _, k := range regionGridKs {
+			t.AddRowf(a, k, bounds.ClassifyMax(n, k, a).String(),
+				bounds.MaxLowerBound(n, k, a), bounds.MaxUpperBound(n, k, a))
+		}
+	}
+	return t
+}
+
+// Figure4 reproduces Figure 4 as a table: the SUMNCG region map and lower
+// bounds.
+func Figure4(n int) *table.Table {
+	t := table.New(fmt.Sprintf("Figure 4 — SUMNCG PoA regions (n = %d)", n),
+		"alpha", "k", "region", "lower bound")
+	for _, a := range regionGridAlphas {
+		for _, k := range regionGridKs {
+			t.AddRowf(a, k, bounds.ClassifySum(n, k, a).String(),
+				bounds.SumLowerBound(n, k, a))
+		}
+	}
+	return t
+}

@@ -1,0 +1,312 @@
+package game
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestVariantString(t *testing.T) {
+	if Max.String() != "MAXNCG" || Sum.String() != "SUMNCG" {
+		t.Fatalf("variant strings: %s, %s", Max, Sum)
+	}
+	if Variant(9).String() != "Variant(9)" {
+		t.Fatalf("unknown variant string: %s", Variant(9))
+	}
+}
+
+func TestBuyUnbuy(t *testing.T) {
+	s := NewState(4)
+	if !s.Buy(0, 1) {
+		t.Fatal("first Buy failed")
+	}
+	if s.Buy(0, 1) {
+		t.Fatal("duplicate Buy succeeded")
+	}
+	if s.Buy(2, 2) {
+		t.Fatal("self Buy succeeded")
+	}
+	if !s.Graph().HasEdge(0, 1) {
+		t.Fatal("network missing bought edge")
+	}
+	if !s.Unbuy(0, 1) {
+		t.Fatal("Unbuy failed")
+	}
+	if s.Unbuy(0, 1) {
+		t.Fatal("double Unbuy succeeded")
+	}
+	if s.Graph().HasEdge(0, 1) {
+		t.Fatal("network kept edge after sole buyer left")
+	}
+}
+
+func TestDoubleOwnership(t *testing.T) {
+	s := NewState(3)
+	s.Buy(0, 1)
+	s.Buy(1, 0)
+	if s.Graph().M() != 1 {
+		t.Fatalf("network m=%d, want 1 (edge bought twice)", s.Graph().M())
+	}
+	if s.TotalBought() != 2 {
+		t.Fatalf("TotalBought=%d, want 2", s.TotalBought())
+	}
+	// Removing one buyer keeps the edge alive.
+	s.Unbuy(0, 1)
+	if !s.Graph().HasEdge(0, 1) {
+		t.Fatal("edge vanished while still bought by the other endpoint")
+	}
+	s.Unbuy(1, 0)
+	if s.Graph().HasEdge(0, 1) {
+		t.Fatal("edge survived with no buyer")
+	}
+}
+
+func TestSetStrategy(t *testing.T) {
+	s := NewState(5)
+	s.SetStrategy(0, []int{1, 2, 3})
+	if s.BoughtCount(0) != 3 || s.Graph().Degree(0) != 3 {
+		t.Fatalf("after set: bought=%d deg=%d", s.BoughtCount(0), s.Graph().Degree(0))
+	}
+	s.SetStrategy(0, []int{2, 4})
+	got := s.Strategy(0)
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("Strategy(0)=%v, want [2 4]", got)
+	}
+	if s.Graph().HasEdge(0, 1) || s.Graph().HasEdge(0, 3) {
+		t.Fatal("stale edges after strategy replacement")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetStrategyPreservesOthersEdges(t *testing.T) {
+	s := NewState(3)
+	s.Buy(1, 0) // player 1 owns (0,1)
+	s.SetStrategy(0, []int{2})
+	s.SetStrategy(0, nil) // drop everything u owns
+	if !s.Graph().HasEdge(0, 1) {
+		t.Fatal("clearing player 0's strategy removed an edge owned by player 1")
+	}
+	if s.Graph().HasEdge(0, 2) {
+		t.Fatal("edge owned by player 0 survived strategy clear")
+	}
+}
+
+func TestSetStrategyPanics(t *testing.T) {
+	s := NewState(3)
+	for _, bad := range [][]int{{0}, {3}, {-1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetStrategy(0, %v) did not panic", bad)
+				}
+			}()
+			s.SetStrategy(0, bad)
+		}()
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	s := NewState(3)
+	s.Buy(0, 1)
+	s.Graph().AddEdge(1, 2) // inject an unowned edge behind the API
+	if err := s.Validate(); err == nil {
+		t.Fatal("Validate missed an unowned edge")
+	}
+}
+
+func TestPlayerCostStar(t *testing.T) {
+	// Star on 5 vertices, center 0 owns nothing, leaves own their edge.
+	s := NewState(5)
+	for v := 1; v < 5; v++ {
+		s.Buy(v, 0)
+	}
+	alpha := 2.0
+	if got := PlayerCost(s, Max, alpha, 0); got != 1 {
+		t.Fatalf("center max cost=%v, want 1 (0 bought + ecc 1)", got)
+	}
+	if got := PlayerCost(s, Max, alpha, 1); got != alpha+2 {
+		t.Fatalf("leaf max cost=%v, want %v", got, alpha+2)
+	}
+	if got := PlayerCost(s, Sum, alpha, 0); got != 4 {
+		t.Fatalf("center sum cost=%v, want 4", got)
+	}
+	// Leaf status: 1 to center + 2*3 to other leaves = 7.
+	if got := PlayerCost(s, Sum, alpha, 1); got != alpha+7 {
+		t.Fatalf("leaf sum cost=%v, want %v", got, alpha+7)
+	}
+}
+
+func TestAllPlayerCostsMatchesPlayerCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := gen.RandomTree(20, rng)
+	s := FromGraphRandomOwners(g, rng)
+	for _, variant := range []Variant{Max, Sum} {
+		all := AllPlayerCosts(s, variant, 1.5)
+		for u := 0; u < s.N(); u++ {
+			if want := PlayerCost(s, variant, 1.5, u); all[u] != want {
+				t.Fatalf("%v: cost[%d]=%v, want %v", variant, u, all[u], want)
+			}
+		}
+	}
+}
+
+func TestSocialCostStarFormula(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 10, 37} {
+		star := gen.Star(n)
+		s := FromGraphLowOwners(star)
+		for _, variant := range []Variant{Max, Sum} {
+			for _, alpha := range []float64{0.5, 1, 3} {
+				got := SocialCost(s, variant, alpha)
+				want := StarSocialCost(n, variant, alpha)
+				if math.Abs(got-want) > 1e-9 {
+					t.Fatalf("n=%d %v α=%v: social=%v, formula=%v", n, variant, alpha, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSocialCostCliqueFormula(t *testing.T) {
+	for _, n := range []int{2, 3, 6, 9} {
+		s := FromGraphLowOwners(gen.Complete(n))
+		for _, variant := range []Variant{Max, Sum} {
+			got := SocialCost(s, variant, 0.7)
+			want := CliqueSocialCost(n, variant, 0.7)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("n=%d %v: social=%v, formula=%v", n, variant, got, want)
+			}
+		}
+	}
+}
+
+func TestOptimumPicksClique(t *testing.T) {
+	// For tiny α the clique beats the star.
+	if OptimumSocialCost(10, Max, 0.01) != CliqueSocialCost(10, Max, 0.01) {
+		t.Fatal("optimum at α=0.01 should be the clique")
+	}
+	if OptimumSocialCost(10, Max, 5) != StarSocialCost(10, Max, 5) {
+		t.Fatal("optimum at α=5 should be the star")
+	}
+	if OptimumSocialCost(1, Max, 5) != 0 {
+		t.Fatal("single-player optimum should be 0")
+	}
+}
+
+func TestQualityOfStarIsOne(t *testing.T) {
+	s := FromGraphLowOwners(gen.Star(20))
+	q := Quality(s, Max, 5)
+	if math.Abs(q-1) > 1e-9 {
+		t.Fatalf("star quality=%v, want 1", q)
+	}
+}
+
+func TestUnfairness(t *testing.T) {
+	s := NewState(3)
+	s.Buy(0, 1)
+	s.Buy(1, 2)
+	// Max costs at α=1: p0: 1+2=3, p1: 1+1=2, p2: 0+2=2 → 3/2.
+	if got := Unfairness(s, Max, 1); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("unfairness=%v, want 1.5", got)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	a := NewState(4)
+	a.Buy(0, 1)
+	b := NewState(4)
+	b.Buy(1, 0)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("fingerprint ignores ownership direction")
+	}
+	c := a.Clone()
+	if a.Fingerprint() != c.Fingerprint() {
+		t.Fatal("clone fingerprint differs")
+	}
+	c.Buy(2, 3)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("fingerprint ignores added edge")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := NewState(3)
+	s.Buy(0, 1)
+	c := s.Clone()
+	c.Buy(1, 2)
+	if s.Graph().HasEdge(1, 2) {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromGraphRandomOwnersValid(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 3 + int(sz%20)
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomTree(n, rng)
+		s := FromGraphRandomOwners(g, rng)
+		if err := s.Validate(); err != nil {
+			return false
+		}
+		if !s.Graph().Equal(g) {
+			return false
+		}
+		// Every edge bought exactly once.
+		return s.TotalBought() == g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSocialCostNonNegativeAndAboveOpt(t *testing.T) {
+	f := func(seed int64, sz uint8, alphaRaw uint8) bool {
+		n := 3 + int(sz%15)
+		alpha := 0.1 + float64(alphaRaw%40)/4
+		rng := rand.New(rand.NewSource(seed))
+		tree := gen.RandomTree(n, rng)
+		s := FromGraphRandomOwners(tree, rng)
+		sc := SocialCost(s, Max, alpha)
+		// A connected state's social cost is at least the optimum's usage
+		// component; quality must be >= 1 up to float wiggle.
+		return sc >= 0 && Quality(s, Max, alpha) >= 1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInfiniteCostForDisconnected(t *testing.T) {
+	s := NewState(4)
+	s.Buy(0, 1) // vertices 2,3 isolated
+	if PlayerCost(s, Max, 1, 0) < InfiniteCost {
+		t.Fatal("disconnected player has finite max cost")
+	}
+	if PlayerCost(s, Sum, 1, 0) < InfiniteCost {
+		t.Fatal("disconnected player has finite sum cost")
+	}
+}
+
+func TestMinMaxBought(t *testing.T) {
+	s := NewState(4)
+	s.SetStrategy(0, []int{1, 2, 3})
+	s.SetStrategy(1, []int{2})
+	if s.MaxBought() != 3 || s.MinBought() != 0 {
+		t.Fatalf("max=%d min=%d, want 3, 0", s.MaxBought(), s.MinBought())
+	}
+	var empty State
+	_ = empty
+	if NewState(0).MinBought() != 0 {
+		t.Fatal("empty state MinBought != 0")
+	}
+}
+
+var _ = graph.New // keep import for doc reference

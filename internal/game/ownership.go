@@ -1,0 +1,32 @@
+package game
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// FromGraphRandomOwners builds a state whose network equals g, assigning
+// the ownership of each edge to one of its endpoints "with a fair coin
+// toss" (§5.2).
+func FromGraphRandomOwners(g *graph.Graph, rng *rand.Rand) *State {
+	s := NewState(g.N())
+	for _, e := range g.Edges() {
+		if rng.Intn(2) == 0 {
+			s.Buy(e.U, e.V)
+		} else {
+			s.Buy(e.V, e.U)
+		}
+	}
+	return s
+}
+
+// FromGraphLowOwners builds a state whose network equals g, with every edge
+// bought by its lower-id endpoint. Useful for deterministic tests.
+func FromGraphLowOwners(g *graph.Graph) *State {
+	s := NewState(g.N())
+	for _, e := range g.Edges() {
+		s.Buy(e.U, e.V)
+	}
+	return s
+}

@@ -1,0 +1,216 @@
+// Package game implements the network-creation-game core: strategy
+// profiles with per-player edge ownership, the MAX (Eq. 2) and SUM (Eq. 1)
+// player cost functions, social cost, and the social-optimum baselines.
+//
+// A strategy profile σ assigns each player u a bought set σ_u ⊆ V∖{u}.
+// The induced network G(σ) contains edge (u,v) iff v ∈ σ_u or u ∈ σ_v
+// (unilateral link formation, Fabrikant et al. model). Both endpoints may
+// redundantly buy the same link; each buyer pays α for her copy.
+package game
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Variant selects the player cost function.
+type Variant int
+
+const (
+	// Max is MAXNCG: cost = α·|σ_u| + eccentricity (Eq. 2).
+	Max Variant = iota
+	// Sum is SUMNCG: cost = α·|σ_u| + Σ_v d(u,v) (Eq. 1).
+	Sum
+)
+
+// String returns "MAXNCG" or "SUMNCG".
+func (v Variant) String() string {
+	switch v {
+	case Max:
+		return "MAXNCG"
+	case Sum:
+		return "SUMNCG"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// State is a mutable strategy profile together with its induced network.
+// The network is maintained incrementally as strategies change.
+type State struct {
+	g    *graph.Graph
+	buys []map[int]bool
+}
+
+// NewState returns the empty profile on n players (no edges bought).
+func NewState(n int) *State {
+	buys := make([]map[int]bool, n)
+	for i := range buys {
+		buys[i] = make(map[int]bool)
+	}
+	return &State{g: graph.New(n), buys: buys}
+}
+
+// N returns the number of players.
+func (s *State) N() int { return s.g.N() }
+
+// Graph returns the induced network G(σ). Callers must not mutate it.
+func (s *State) Graph() *graph.Graph { return s.g }
+
+// Buys reports whether u currently buys the edge towards v.
+func (s *State) Buys(u, v int) bool { return s.buys[u][v] }
+
+// BoughtCount returns |σ_u|.
+func (s *State) BoughtCount(u int) int { return len(s.buys[u]) }
+
+// Strategy returns σ_u as a sorted slice.
+func (s *State) Strategy(u int) []int {
+	out := make([]int, 0, len(s.buys[u]))
+	for v := range s.buys[u] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Buy adds v to σ_u. It returns false when v was already in σ_u or u == v.
+func (s *State) Buy(u, v int) bool {
+	if u == v || s.buys[u][v] {
+		return false
+	}
+	s.buys[u][v] = true
+	s.g.AddEdge(u, v) // no-op when v already bought (u,v)
+	return true
+}
+
+// Unbuy removes v from σ_u. The edge (u,v) disappears from the network only
+// when v does not buy it either. It returns false when v was not in σ_u.
+func (s *State) Unbuy(u, v int) bool {
+	if !s.buys[u][v] {
+		return false
+	}
+	delete(s.buys[u], v)
+	if !s.buys[v][u] {
+		s.g.RemoveEdge(u, v)
+	}
+	return true
+}
+
+// SetStrategy replaces σ_u wholesale, updating the network incrementally.
+func (s *State) SetStrategy(u int, strategy []int) {
+	old := s.Strategy(u)
+	want := make(map[int]bool, len(strategy))
+	for _, v := range strategy {
+		if v == u {
+			panic("game: strategy contains the player herself")
+		}
+		if v < 0 || v >= s.N() {
+			panic(fmt.Sprintf("game: strategy target %d out of range", v))
+		}
+		want[v] = true
+	}
+	for _, v := range old {
+		if !want[v] {
+			s.Unbuy(u, v)
+		}
+	}
+	for v := range want {
+		s.Buy(u, v)
+	}
+}
+
+// TotalBought returns Σ_u |σ_u| (the total building multiplicity, which can
+// exceed the edge count when both endpoints buy a link).
+func (s *State) TotalBought() int {
+	total := 0
+	for _, b := range s.buys {
+		total += len(b)
+	}
+	return total
+}
+
+// MaxBought returns the largest |σ_u| over all players.
+func (s *State) MaxBought() int {
+	max := 0
+	for _, b := range s.buys {
+		if len(b) > max {
+			max = len(b)
+		}
+	}
+	return max
+}
+
+// MinBought returns the smallest |σ_u| over all players.
+func (s *State) MinBought() int {
+	if len(s.buys) == 0 {
+		return 0
+	}
+	min := len(s.buys[0])
+	for _, b := range s.buys[1:] {
+		if len(b) < min {
+			min = len(b)
+		}
+	}
+	return min
+}
+
+// Clone returns a deep copy of the state.
+func (s *State) Clone() *State {
+	c := &State{g: s.g.Clone(), buys: make([]map[int]bool, len(s.buys))}
+	for u, b := range s.buys {
+		c.buys[u] = make(map[int]bool, len(b))
+		for v := range b {
+			c.buys[u][v] = true
+		}
+	}
+	return c
+}
+
+// Validate checks internal consistency: the network edge set must equal the
+// union of bought arcs, with no self-buys. It returns the first violation.
+func (s *State) Validate() error {
+	n := s.N()
+	for u := 0; u < n; u++ {
+		for v := range s.buys[u] {
+			if v == u {
+				return fmt.Errorf("game: player %d buys a self-loop", u)
+			}
+			if !s.g.HasEdge(u, v) {
+				return fmt.Errorf("game: bought edge (%d,%d) missing from network", u, v)
+			}
+		}
+	}
+	for _, e := range s.g.Edges() {
+		if !s.buys[e.U][e.V] && !s.buys[e.V][e.U] {
+			return fmt.Errorf("game: network edge (%d,%d) bought by neither endpoint", e.U, e.V)
+		}
+	}
+	return nil
+}
+
+// Fingerprint returns a canonical hash of the full strategy profile, used
+// by the dynamics engine to detect best-response cycles (§5.1).
+func (s *State) Fingerprint() uint64 {
+	// FNV-1a over the sorted arc list.
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime
+			x >>= 8
+		}
+	}
+	for u := 0; u < s.N(); u++ {
+		for _, v := range s.Strategy(u) {
+			mix(uint64(u)<<32 | uint64(v))
+		}
+		mix(^uint64(0)) // player separator
+	}
+	return h
+}

@@ -1,0 +1,123 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Hypercube returns the d-dimensional hypercube Q_d on 2^d vertices:
+// vertices are bit strings, edges connect strings at Hamming distance 1.
+func Hypercube(d int) *graph.Graph {
+	if d < 0 || d > 20 {
+		panic("gen: hypercube dimension out of [0,20]")
+	}
+	n := 1 << d
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			w := v ^ (1 << b)
+			if w > v {
+				g.AddEdge(v, w)
+			}
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b}: parts {0..a-1} and {a..a+b-1}.
+func CompleteBipartite(a, b int) *graph.Graph {
+	if a < 0 || b < 0 {
+		panic("gen: negative part size")
+	}
+	g := graph.New(a + b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Caterpillar returns a caterpillar tree: a spine path on spine vertices
+// with legs leaves attached to each spine vertex. Spine vertices come
+// first (ids 0..spine-1).
+func Caterpillar(spine, legs int) *graph.Graph {
+	if spine < 1 || legs < 0 {
+		panic("gen: caterpillar needs spine >= 1, legs >= 0")
+	}
+	g := graph.New(spine + spine*legs)
+	for i := 0; i+1 < spine; i++ {
+		g.AddEdge(i, i+1)
+	}
+	next := spine
+	for i := 0; i < spine; i++ {
+		for l := 0; l < legs; l++ {
+			g.AddEdge(i, next)
+			next++
+		}
+	}
+	return g
+}
+
+// PreferentialAttachmentTree grows a tree by preferential attachment
+// (Barabási–Albert with m = 1): each new vertex attaches to an existing
+// vertex with probability proportional to its degree. The result is a
+// scale-free tree — a heavier-tailed alternative to the paper's uniform
+// random trees for dynamics experiments.
+func PreferentialAttachmentTree(n int, rng *rand.Rand) *graph.Graph {
+	if n < 1 {
+		panic("gen: PreferentialAttachmentTree needs n >= 1")
+	}
+	g := graph.New(n)
+	if n == 1 {
+		return g
+	}
+	// endpoints records each edge endpoint twice; sampling a uniform
+	// entry is degree-proportional sampling.
+	endpoints := make([]int, 0, 2*(n-1))
+	g.AddEdge(0, 1)
+	endpoints = append(endpoints, 0, 1)
+	for v := 2; v < n; v++ {
+		target := endpoints[rng.Intn(len(endpoints))]
+		g.AddEdge(v, target)
+		endpoints = append(endpoints, v, target)
+	}
+	return g
+}
+
+// RandomRegular samples a q-regular graph on n vertices via the pairing
+// model with rejection (retry on self-loops/multi-edges). n*q must be
+// even and q < n. It retries up to maxTries full pairings before giving
+// up, which is ample for the moderate (n, q) used in experiments.
+func RandomRegular(n, q int, rng *rand.Rand, maxTries int) (*graph.Graph, bool) {
+	if n*q%2 != 0 || q >= n || q < 0 {
+		return nil, false
+	}
+	if maxTries < 1 {
+		maxTries = 1
+	}
+	stubs := make([]int, 0, n*q)
+	for try := 0; try < maxTries; try++ {
+		stubs = stubs[:0]
+		for v := 0; v < n; v++ {
+			for i := 0; i < q; i++ {
+				stubs = append(stubs, v)
+			}
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		g := graph.New(n)
+		ok := true
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v || !g.AddEdge(u, v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g, true
+		}
+	}
+	return nil, false
+}

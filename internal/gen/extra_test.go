@@ -1,0 +1,116 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHypercube(t *testing.T) {
+	q3 := Hypercube(3)
+	if q3.N() != 8 || q3.M() != 12 {
+		t.Fatalf("Q3: n=%d m=%d", q3.N(), q3.M())
+	}
+	for v := 0; v < 8; v++ {
+		if q3.Degree(v) != 3 {
+			t.Fatalf("Q3 degree(%d)=%d", v, q3.Degree(v))
+		}
+	}
+	if q3.Diameter() != 3 {
+		t.Fatalf("Q3 diameter=%d", q3.Diameter())
+	}
+	if q3.Girth() != 4 {
+		t.Fatalf("Q3 girth=%d", q3.Girth())
+	}
+	if Hypercube(0).N() != 1 {
+		t.Fatal("Q0 should be a single vertex")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("huge dimension accepted")
+		}
+	}()
+	Hypercube(25)
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g := CompleteBipartite(3, 4)
+	if g.N() != 7 || g.M() != 12 {
+		t.Fatalf("K3,4: n=%d m=%d", g.N(), g.M())
+	}
+	if g.HasEdge(0, 1) || g.HasEdge(3, 4) {
+		t.Fatal("intra-part edge present")
+	}
+	if !g.HasEdge(0, 3) {
+		t.Fatal("cross edge missing")
+	}
+	if g.Girth() != 4 {
+		t.Fatalf("K3,4 girth=%d", g.Girth())
+	}
+	if CompleteBipartite(0, 5).M() != 0 {
+		t.Fatal("K0,5 has edges")
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := Caterpillar(4, 2)
+	if g.N() != 12 || g.M() != 11 {
+		t.Fatalf("caterpillar: n=%d m=%d", g.N(), g.M())
+	}
+	if !g.IsConnected() {
+		t.Fatal("caterpillar disconnected")
+	}
+	// Spine interior vertices: 2 spine neighbors + 2 legs.
+	if g.Degree(1) != 4 {
+		t.Fatalf("spine degree=%d", g.Degree(1))
+	}
+	// A tree: n-1 edges.
+	if g.M() != g.N()-1 {
+		t.Fatal("not a tree")
+	}
+}
+
+func TestPreferentialAttachmentTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := PreferentialAttachmentTree(200, rng)
+	if g.M() != 199 || !g.IsConnected() {
+		t.Fatalf("PA tree: m=%d connected=%v", g.M(), g.IsConnected())
+	}
+	// Scale-free trees grow much larger hubs than uniform random trees
+	// (uniform max degree ~5-6 at n=200; PA typically > 10).
+	maxDeg := 0
+	for trial := 0; trial < 10; trial++ {
+		if d := PreferentialAttachmentTree(200, rng).MaxDegree(); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 10 {
+		t.Fatalf("PA max degree over 10 trials = %d, expected a hub", maxDeg)
+	}
+	if PreferentialAttachmentTree(1, rng).N() != 1 {
+		t.Fatal("n=1")
+	}
+	if PreferentialAttachmentTree(2, rng).M() != 1 {
+		t.Fatal("n=2")
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	g, ok := RandomRegular(30, 4, rng, 200)
+	if !ok {
+		t.Fatal("no 4-regular graph found")
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("degree(%d)=%d", v, g.Degree(v))
+		}
+	}
+	// Parity violation.
+	if _, ok := RandomRegular(5, 3, rng, 10); ok {
+		t.Fatal("odd n*q accepted")
+	}
+	// q >= n.
+	if _, ok := RandomRegular(4, 4, rng, 10); ok {
+		t.Fatal("q >= n accepted")
+	}
+}

@@ -1,0 +1,291 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestPath(t *testing.T) {
+	g := Path(5)
+	if g.N() != 5 || g.M() != 4 {
+		t.Fatalf("Path(5): n=%d m=%d", g.N(), g.M())
+	}
+	if g.Diameter() != 4 {
+		t.Fatalf("Path(5) diameter = %d, want 4", g.Diameter())
+	}
+	if Path(1).M() != 0 {
+		t.Fatal("Path(1) should have no edges")
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := Cycle(6)
+	if g.M() != 6 {
+		t.Fatalf("Cycle(6): m=%d, want 6", g.M())
+	}
+	for v := 0; v < 6; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("Cycle(6): degree(%d)=%d, want 2", v, g.Degree(v))
+		}
+	}
+	if g.Girth() != 6 {
+		t.Fatalf("Cycle(6) girth = %d, want 6", g.Girth())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Cycle(2) did not panic")
+		}
+	}()
+	Cycle(2)
+}
+
+func TestStarAndComplete(t *testing.T) {
+	s := Star(7)
+	if s.M() != 6 || s.Degree(0) != 6 {
+		t.Fatalf("Star(7): m=%d deg0=%d", s.M(), s.Degree(0))
+	}
+	k := Complete(6)
+	if k.M() != 15 || k.Diameter() != 1 {
+		t.Fatalf("K6: m=%d diam=%d", k.M(), k.Diameter())
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("Grid(3,4): n=%d", g.N())
+	}
+	if g.M() != 3*3+2*4 { // horizontal: 3 rows * 3, vertical: 2*4
+		t.Fatalf("Grid(3,4): m=%d, want 17", g.M())
+	}
+	if g.Diameter() != 2+3 {
+		t.Fatalf("Grid(3,4): diameter=%d, want 5", g.Diameter())
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g := Torus(4, 5)
+	if g.N() != 20 || g.M() != 40 {
+		t.Fatalf("Torus(4,5): n=%d m=%d, want 20, 40", g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("Torus vertex %d degree=%d, want 4", v, g.Degree(v))
+		}
+	}
+	if g.Diameter() != 2+2 {
+		t.Fatalf("Torus(4,5) diameter=%d, want 4", g.Diameter())
+	}
+}
+
+func TestPruferDecodeKnown(t *testing.T) {
+	// Sequence [3,3,3,4] encodes the tree with edges
+	// (0,3),(1,3),(2,3),(3,4),(4,5) on 6 vertices.
+	g := PruferDecode([]int{3, 3, 3, 4})
+	want := []graph.Edge{{U: 0, V: 3}, {U: 1, V: 3}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5}}
+	got := g.Edges()
+	if len(got) != len(want) {
+		t.Fatalf("edges = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edges = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPruferRoundTrip(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 3 + int(sz%30)
+		rng := rand.New(rand.NewSource(seed))
+		seq := make([]int, n-2)
+		for i := range seq {
+			seq[i] = rng.Intn(n)
+		}
+		tree := PruferDecode(seq)
+		back := PruferEncode(tree)
+		if len(back) != len(seq) {
+			return false
+		}
+		for i := range seq {
+			if back[i] != seq[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 3, 10, 50, 200} {
+		g := RandomTree(n, rng)
+		if g.N() != n {
+			t.Fatalf("RandomTree(%d): n=%d", n, g.N())
+		}
+		if g.M() != n-1 && n > 0 {
+			if !(n == 1 && g.M() == 0) {
+				t.Fatalf("RandomTree(%d): m=%d, want %d", n, g.M(), n-1)
+			}
+		}
+		if !g.IsConnected() {
+			t.Fatalf("RandomTree(%d) disconnected", n)
+		}
+	}
+}
+
+func TestRandomTreeUniformity(t *testing.T) {
+	// On 3 labelled vertices there are exactly 3 trees (one per center).
+	// Check each appears with roughly 1/3 frequency.
+	rng := rand.New(rand.NewSource(1))
+	counts := map[int]int{}
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		g := RandomTree(3, rng)
+		for v := 0; v < 3; v++ {
+			if g.Degree(v) == 2 {
+				counts[v]++
+			}
+		}
+	}
+	for v := 0; v < 3; v++ {
+		frac := float64(counts[v]) / trials
+		if frac < 0.28 || frac > 0.39 {
+			t.Errorf("center %d frequency %.3f, want ~1/3", v, frac)
+		}
+	}
+}
+
+func TestPruferEncodeRejectsNonTree(t *testing.T) {
+	g := Cycle(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PruferEncode(cycle) did not panic")
+		}
+	}()
+	PruferEncode(g)
+}
+
+func TestGNPExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	empty := GNP(10, 0, rng)
+	if empty.M() != 0 {
+		t.Fatalf("GNP(10,0): m=%d", empty.M())
+	}
+	full := GNP(10, 1, rng)
+	if full.M() != 45 {
+		t.Fatalf("GNP(10,1): m=%d, want 45", full.M())
+	}
+}
+
+func TestGNPDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n, p = 120, 0.1
+	total := 0
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		total += GNP(n, p, rng).M()
+	}
+	mean := float64(total) / trials
+	want := p * float64(n*(n-1)/2)
+	if mean < 0.85*want || mean > 1.15*want {
+		t.Fatalf("GNP mean edges %.1f, want ~%.1f", mean, want)
+	}
+}
+
+func TestGNPConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := GNPConnected(100, 0.06, rng, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Fatal("GNPConnected returned a disconnected graph")
+	}
+}
+
+func TestGNPConnectedFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if _, err := GNPConnected(50, 0, rng, 3); err == nil {
+		t.Fatal("GNPConnected with p=0 should fail")
+	}
+}
+
+func TestProjectivePlaneIncidence(t *testing.T) {
+	for _, q := range []int{2, 3, 5, 7} {
+		g, err := ProjectivePlaneIncidence(q)
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		np := q*q + q + 1
+		if g.N() != 2*np {
+			t.Fatalf("q=%d: n=%d, want %d", q, g.N(), 2*np)
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) != q+1 {
+				t.Fatalf("q=%d: vertex %d degree %d, want %d", q, v, g.Degree(v), q+1)
+			}
+		}
+		if girth := g.Girth(); girth != 6 {
+			t.Fatalf("q=%d: girth=%d, want 6", q, girth)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("q=%d: incidence graph disconnected", q)
+		}
+	}
+}
+
+func TestProjectivePlaneRejectsComposite(t *testing.T) {
+	for _, q := range []int{1, 4, 6, 9} {
+		if _, err := ProjectivePlaneIncidence(q); err == nil {
+			t.Errorf("q=%d accepted, want error", q)
+		}
+	}
+}
+
+func TestRegularHighGirth(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cases := []struct{ n, q, g int }{
+		{30, 3, 5},
+		{60, 3, 6},
+		{50, 4, 5},
+		{100, 3, 7},
+	}
+	for _, c := range cases {
+		gr, err := RegularHighGirth(c.n, c.q, c.g, rng, 50)
+		if err != nil {
+			t.Fatalf("n=%d q=%d g=%d: %v", c.n, c.q, c.g, err)
+		}
+		for v := 0; v < gr.N(); v++ {
+			if gr.Degree(v) != c.q {
+				t.Fatalf("n=%d q=%d g=%d: vertex %d degree %d", c.n, c.q, c.g, v, gr.Degree(v))
+			}
+		}
+		if girth := gr.Girth(); girth < c.g {
+			t.Fatalf("n=%d q=%d g=%d: girth=%d", c.n, c.q, c.g, girth)
+		}
+	}
+}
+
+func TestRegularHighGirthRejectsBadArgs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if _, err := RegularHighGirth(11, 3, 5, rng, 5); err == nil {
+		t.Error("odd n*q accepted")
+	}
+	if _, err := RegularHighGirth(10, 1, 5, rng, 5); err == nil {
+		t.Error("q=1 accepted")
+	}
+	if _, err := RegularHighGirth(4, 6, 5, rng, 5); err == nil {
+		t.Error("q >= n accepted")
+	}
+	// Infeasible: K4 is the only 3-regular graph on 4 vertices, girth 3.
+	if _, err := RegularHighGirth(4, 3, 5, rng, 5); err == nil {
+		t.Error("infeasible parameters accepted")
+	}
+}

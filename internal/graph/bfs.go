@@ -1,0 +1,198 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Unreachable is the distance reported for vertices in a different connected
+// component. It is large enough to dominate any real distance but small
+// enough that modest sums do not overflow int.
+const Unreachable = int(1) << 40
+
+// BFS computes single-source shortest-path distances from src into dist,
+// which must have length g.N(). Unreachable vertices get Unreachable.
+// The provided queue buffer is reused when non-nil and large enough;
+// callers running many BFS passes should allocate both once.
+func (g *Graph) BFS(src int, dist []int, queue []int32) {
+	g.check(src)
+	if len(dist) != g.n {
+		panic("graph: BFS dist buffer has wrong length")
+	}
+	if cap(queue) < g.n {
+		queue = make([]int32, g.n)
+	}
+	queue = queue[:g.n]
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue[0] = int32(src)
+	head, tail := 0, 1
+	for head < tail {
+		u := int(queue[head])
+		head++
+		du := dist[u]
+		for _, w := range g.adj[u] {
+			if dist[w] == Unreachable {
+				dist[w] = du + 1
+				queue[tail] = w
+				tail++
+			}
+		}
+	}
+}
+
+// Distances returns a fresh slice of distances from src.
+func (g *Graph) Distances(src int) []int {
+	dist := make([]int, g.n)
+	g.BFS(src, dist, nil)
+	return dist
+}
+
+// Dist returns the distance between u and v (Unreachable when disconnected).
+func (g *Graph) Dist(u, v int) int {
+	return g.Distances(u)[v]
+}
+
+// BFSWithin computes distances from src, exploring only vertices at distance
+// at most k. dist must have length g.N(); vertices beyond radius k (or
+// unreachable) get Unreachable. It returns the visited vertices in BFS order.
+func (g *Graph) BFSWithin(src, k int, dist []int, queue []int32) []int32 {
+	g.check(src)
+	if len(dist) != g.n {
+		panic("graph: BFSWithin dist buffer has wrong length")
+	}
+	if k < 0 {
+		panic("graph: negative radius")
+	}
+	if cap(queue) < g.n {
+		queue = make([]int32, g.n)
+	}
+	queue = queue[:g.n]
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue[0] = int32(src)
+	head, tail := 0, 1
+	for head < tail {
+		u := int(queue[head])
+		head++
+		du := dist[u]
+		if du == k {
+			continue
+		}
+		for _, w := range g.adj[u] {
+			if dist[w] == Unreachable {
+				dist[w] = du + 1
+				queue[tail] = w
+				tail++
+			}
+		}
+	}
+	return queue[:tail]
+}
+
+// Ball returns the vertices at distance at most k from src, in BFS order.
+func (g *Graph) Ball(src, k int) []int {
+	dist := make([]int, g.n)
+	visited := g.BFSWithin(src, k, dist, nil)
+	out := make([]int, len(visited))
+	for i, v := range visited {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// Eccentricity returns the eccentricity of v, or Unreachable when the graph
+// is disconnected from v's component.
+func (g *Graph) Eccentricity(v int) int {
+	dist := make([]int, g.n)
+	g.BFS(v, dist, nil)
+	ecc := 0
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// SumDistances returns the status of v: the sum of distances from v to every
+// other vertex. If any vertex is unreachable the result is >= Unreachable.
+func (g *Graph) SumDistances(v int) int {
+	dist := make([]int, g.n)
+	g.BFS(v, dist, nil)
+	sum := 0
+	for _, d := range dist {
+		sum += d
+	}
+	return sum
+}
+
+// AllEccentricities computes the eccentricity of every vertex with a
+// parallel fan-out of BFS workers. The result index is the vertex id.
+func (g *Graph) AllEccentricities() []int {
+	ecc := make([]int, g.n)
+	parallelVertices(g.n, func(worker, v int, dist []int, queue []int32) {
+		g.BFS(v, dist, queue)
+		e := 0
+		for _, d := range dist {
+			if d > e {
+				e = d
+			}
+		}
+		ecc[v] = e
+	})
+	return ecc
+}
+
+// AllSumDistances computes the status (sum of distances) of every vertex in
+// parallel. The result index is the vertex id.
+func (g *Graph) AllSumDistances() []int {
+	sums := make([]int, g.n)
+	parallelVertices(g.n, func(worker, v int, dist []int, queue []int32) {
+		g.BFS(v, dist, queue)
+		s := 0
+		for _, d := range dist {
+			s += d
+		}
+		sums[v] = s
+	})
+	return sums
+}
+
+// parallelVertices runs fn(worker, v, dist, queue) for every vertex v using
+// a fixed pool of GOMAXPROCS workers, each owning reusable BFS buffers.
+// Writes by different vertices must target disjoint memory.
+func parallelVertices(n int, fn func(worker, v int, dist []int, queue []int32)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		dist := make([]int, n)
+		queue := make([]int32, n)
+		for v := 0; v < n; v++ {
+			fn(0, v, dist, queue)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dist := make([]int, n)
+			queue := make([]int32, n)
+			// Strided assignment keeps the schedule deterministic and
+			// avoids a shared work channel for this embarrassingly
+			// parallel loop.
+			for v := w; v < n; v += workers {
+				fn(w, v, dist, queue)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

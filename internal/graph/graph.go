@@ -1,0 +1,198 @@
+// Package graph provides the undirected-graph substrate used by every other
+// package in this repository: adjacency storage, BFS kernels, distance
+// metrics (eccentricity, diameter, radius, girth), graph powers, induced
+// subgraphs, and connectivity queries.
+//
+// Vertices are dense integers in [0, N). Graphs are mutable — the
+// best-response dynamics rewires edges on every improving move — so the
+// representation favors cheap edge insertion/removal on small-degree
+// vertices over asymptotic cleverness. All query methods are read-only and
+// safe for concurrent use as long as no writer is active.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected simple graph on vertices 0..n-1, stored as
+// adjacency lists. Self-loops and parallel edges are rejected.
+type Graph struct {
+	n   int
+	m   int
+	adj [][]int32
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{n: n, adj: make([][]int32, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// check panics when v is out of range.
+func (g *Graph) check(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, g.n))
+	}
+}
+
+// HasEdge reports whether the undirected edge (u,v) is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return false
+	}
+	// Scan the smaller list.
+	if len(g.adj[u]) > len(g.adj[v]) {
+		u, v = v, u
+	}
+	for _, w := range g.adj[u] {
+		if int(w) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// AddEdge inserts the undirected edge (u,v). It returns false when the edge
+// already exists or u == v, and true when the edge was inserted.
+func (g *Graph) AddEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	if u == v || g.HasEdge(u, v) {
+		return false
+	}
+	g.adj[u] = append(g.adj[u], int32(v))
+	g.adj[v] = append(g.adj[v], int32(u))
+	g.m++
+	return true
+}
+
+// RemoveEdge deletes the undirected edge (u,v). It returns false when the
+// edge was not present.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return false
+	}
+	if !g.removeArc(u, v) {
+		return false
+	}
+	g.removeArc(v, u)
+	g.m--
+	return true
+}
+
+func (g *Graph) removeArc(u, v int) bool {
+	l := g.adj[u]
+	for i, w := range l {
+		if int(w) == v {
+			l[i] = l[len(l)-1]
+			g.adj[u] = l[:len(l)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int {
+	g.check(v)
+	return len(g.adj[v])
+}
+
+// MaxDegree returns the largest vertex degree (0 for the empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Neighbors returns the adjacency list of v. The returned slice aliases the
+// graph's internal storage and must not be modified; its order is
+// unspecified.
+func (g *Graph) Neighbors(v int) []int32 {
+	g.check(v)
+	return g.adj[v]
+}
+
+// SortedNeighbors returns a fresh, sorted copy of v's adjacency list.
+func (g *Graph) SortedNeighbors(v int) []int {
+	g.check(v)
+	out := make([]int, len(g.adj[v]))
+	for i, w := range g.adj[v] {
+		out[i] = int(w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{n: g.n, m: g.m, adj: make([][]int32, g.n)}
+	for v, l := range g.adj {
+		if len(l) > 0 {
+			c.adj[v] = append([]int32(nil), l...)
+		}
+	}
+	return c
+}
+
+// Edge is an undirected edge with U < V.
+type Edge struct{ U, V int }
+
+// Edges returns all edges with U < V, sorted lexicographically.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, w := range g.adj[u] {
+			if int(w) > u {
+				out = append(out, Edge{u, int(w)})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Equal reports whether g and h have identical vertex and edge sets.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.n != h.n || g.m != h.m {
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		if len(g.adj[u]) != len(h.adj[u]) {
+			return false
+		}
+		for _, w := range g.adj[u] {
+			if !h.HasEdge(u, int(w)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders a compact description, e.g. "Graph(n=5, m=4)".
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph(n=%d, m=%d)", g.n, g.m)
+}

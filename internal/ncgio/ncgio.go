@@ -1,0 +1,112 @@
+// Package ncgio serializes game states and sweep results so equilibria
+// found by long experiment runs can be saved, inspected, and re-audited
+// later. The on-disk format is stable JSON: a state is its player count
+// plus the sorted arc list (buyer → target), which is exactly the
+// information content of a strategy profile σ.
+package ncgio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/game"
+)
+
+// stateJSON is the wire form of a strategy profile.
+type stateJSON struct {
+	// N is the number of players.
+	N int `json:"n"`
+	// Arcs lists bought edges as [buyer, target] pairs in canonical
+	// (buyer-major, target-minor) order.
+	Arcs [][2]int `json:"arcs"`
+}
+
+// EncodeState writes s to w as JSON.
+func EncodeState(w io.Writer, s *game.State) error {
+	out := stateJSON{N: s.N()}
+	for u := 0; u < s.N(); u++ {
+		for _, v := range s.Strategy(u) {
+			out.Arcs = append(out.Arcs, [2]int{u, v})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// DecodeState reads a state previously written by EncodeState. The
+// decoded state passes game.Validate by construction; malformed arcs
+// (out-of-range ids, self-buys, duplicates) are rejected.
+func DecodeState(r io.Reader) (*game.State, error) {
+	var in stateJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("ncgio: %w", err)
+	}
+	if in.N < 0 {
+		return nil, fmt.Errorf("ncgio: negative player count %d", in.N)
+	}
+	s := game.NewState(in.N)
+	for _, arc := range in.Arcs {
+		u, v := arc[0], arc[1]
+		if u < 0 || u >= in.N || v < 0 || v >= in.N {
+			return nil, fmt.Errorf("ncgio: arc (%d,%d) out of range [0,%d)", u, v, in.N)
+		}
+		if u == v {
+			return nil, fmt.Errorf("ncgio: self-buy arc (%d,%d)", u, v)
+		}
+		if s.Buys(u, v) {
+			return nil, fmt.Errorf("ncgio: duplicate arc (%d,%d)", u, v)
+		}
+		s.Buy(u, v)
+	}
+	return s, nil
+}
+
+// RunRecord is the serializable summary of one dynamics run, rich enough
+// to re-audit the final state (the profile itself is embedded).
+type RunRecord struct {
+	Variant    string          `json:"variant"`
+	Alpha      float64         `json:"alpha"`
+	K          int             `json:"k"`
+	Seed       int64           `json:"seed"`
+	Status     string          `json:"status"`
+	Rounds     int             `json:"rounds"`
+	TotalMoves int             `json:"total_moves"`
+	Diameter   int             `json:"diameter"`
+	SocialCost float64         `json:"social_cost"`
+	Quality    float64         `json:"quality"`
+	State      json.RawMessage `json:"state"`
+}
+
+// EncodeRunRecord serializes one record as a JSON line (JSONL-friendly).
+func EncodeRunRecord(w io.Writer, rec RunRecord) error {
+	return json.NewEncoder(w).Encode(rec)
+}
+
+// DecodeRunRecords reads all JSONL records from r.
+func DecodeRunRecords(r io.Reader) ([]RunRecord, error) {
+	var out []RunRecord
+	dec := json.NewDecoder(r)
+	for {
+		var rec RunRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("ncgio: %w", err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// MarshalState returns the JSON bytes of a state (for embedding in
+// RunRecord.State).
+func MarshalState(s *game.State) (json.RawMessage, error) {
+	out := stateJSON{N: s.N()}
+	for u := 0; u < s.N(); u++ {
+		for _, v := range s.Strategy(u) {
+			out.Arcs = append(out.Arcs, [2]int{u, v})
+		}
+	}
+	return json.Marshal(out)
+}

@@ -1,0 +1,149 @@
+// Package swap implements the basic network creation game of Alon,
+// Demaine, Hajiaghayi & Leighton (2013) under the locality model: a
+// player's only move is to SWAP one endpoint of an edge she owns (no
+// purchases, no deletions, no edge price α). The §3.1 torus is a direct
+// generalization of Alon et al.'s swap-stable torus, so this package is
+// the natural baseline for the paper's lower-bound construction — a
+// graph that is swap-stable is the degenerate "α → ∞ with fixed edge
+// count" limit of the creation game.
+//
+// Locality applies exactly as in the main game: a player evaluates a
+// swap on her k-neighborhood view, and for the MAX objective the
+// worst-case realizable network coincides with the view (the Prop. 2.1
+// argument only uses that the view is a subgraph certificate, which
+// holds verbatim when the move set shrinks).
+package swap
+
+import (
+	"repro/internal/game"
+	"repro/internal/graph"
+	"repro/internal/view"
+)
+
+// SwapMove is a candidate move: replace owned edge (u, Old) by (u, New).
+type SwapMove struct {
+	Player int
+	Old    int
+	New    int
+}
+
+// Objective selects the usage cost a swap tries to reduce.
+type Objective int
+
+const (
+	// MaxEcc minimizes the player's eccentricity in her view (the MAX
+	// objective of the basic game).
+	MaxEcc Objective = iota
+	// SumDist minimizes the sum of view distances (the SUM objective).
+	SumDist
+)
+
+// usage evaluates the objective for the center of a modified view graph.
+func usage(h *graph.Graph, center int, obj Objective) int {
+	dist := make([]int, h.N())
+	h.BFS(center, dist, nil)
+	switch obj {
+	case MaxEcc:
+		ecc := 0
+		for _, d := range dist {
+			if d > ecc {
+				ecc = d
+			}
+		}
+		return ecc
+	case SumDist:
+		sum := 0
+		for _, d := range dist {
+			sum += d
+		}
+		return sum
+	default:
+		panic("swap: unknown objective")
+	}
+}
+
+// BestSwap returns the best improving swap for player u on her radius-k
+// view, or ok=false when no swap strictly reduces the objective. Swaps
+// that disconnect the view (pushing some visible vertex to infinity) are
+// never improving and are skipped implicitly by the usage comparison.
+func BestSwap(s *game.State, u, k int, obj Objective) (SwapMove, bool) {
+	v := view.Extract(s.Graph(), u, k)
+	base := usage(v.H, v.Center, obj)
+	best := SwapMove{}
+	bestUsage := base
+	found := false
+	for _, old := range s.Strategy(u) {
+		lOld, okOld := v.Local[old]
+		if !okOld {
+			continue // bought edge whose endpoint left the view: untouchable
+		}
+		doubleOwned := s.Buys(old, u)
+		for _, cand := range v.Orig {
+			if cand == u || cand == old {
+				continue
+			}
+			lCand := v.Local[cand]
+			h := v.H.Clone()
+			if !doubleOwned {
+				h.RemoveEdge(v.Center, lOld)
+			}
+			added := h.AddEdge(v.Center, lCand)
+			cost := usage(h, v.Center, obj)
+			if cost < bestUsage && added {
+				bestUsage = cost
+				best = SwapMove{Player: u, Old: old, New: cand}
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// Apply executes a swap on the state.
+func Apply(s *game.State, m SwapMove) {
+	s.Unbuy(m.Player, m.Old)
+	s.Buy(m.Player, m.New)
+}
+
+// IsSwapStable reports whether no player has an improving swap — the
+// local-knowledge analogue of Alon et al.'s swap equilibrium.
+func IsSwapStable(s *game.State, k int, obj Objective) bool {
+	for u := 0; u < s.N(); u++ {
+		if _, ok := BestSwap(s, u, k, obj); ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Result summarizes a swap dynamics run.
+type Result struct {
+	Converged bool
+	Rounds    int
+	Swaps     int
+}
+
+// Run iterates round-robin best-swap dynamics until no player can
+// improve, or maxRounds elapses.
+func Run(s *game.State, k int, obj Objective, maxRounds int) Result {
+	if maxRounds <= 0 {
+		maxRounds = 200
+	}
+	var res Result
+	for round := 1; round <= maxRounds; round++ {
+		res.Rounds = round
+		moved := 0
+		for u := 0; u < s.N(); u++ {
+			if m, ok := BestSwap(s, u, k, obj); ok {
+				Apply(s, m)
+				moved++
+			}
+		}
+		res.Swaps += moved
+		if moved == 0 {
+			res.Converged = true
+			return res
+		}
+	}
+	return res
+}

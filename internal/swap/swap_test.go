@@ -1,0 +1,118 @@
+package swap
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/construction"
+	"repro/internal/game"
+	"repro/internal/gen"
+)
+
+func TestBestSwapOnPathEndOwner(t *testing.T) {
+	// Path 0-1-2-3-4; player 0 owns (0,1). Swapping (0,1)→(0,2) with full
+	// view reduces her eccentricity from 4 to 3.
+	s := game.FromGraphLowOwners(gen.Path(5))
+	m, ok := BestSwap(s, 0, 10, MaxEcc)
+	if !ok {
+		t.Fatal("no improving swap found")
+	}
+	if m.Old != 1 || m.New != 2 {
+		t.Fatalf("swap %+v, want (0,1)->(0,2)", m)
+	}
+	Apply(s, m)
+	if !s.Graph().HasEdge(0, 2) || s.Graph().HasEdge(0, 1) {
+		t.Fatal("apply failed")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStarIsSwapStable(t *testing.T) {
+	s := game.NewState(7)
+	for v := 1; v < 7; v++ {
+		s.Buy(v, 0)
+	}
+	for _, obj := range []Objective{MaxEcc, SumDist} {
+		if !IsSwapStable(s, 3, obj) {
+			t.Fatalf("star not swap-stable under %v", obj)
+		}
+	}
+}
+
+func TestSwapStabilityUnderLocality(t *testing.T) {
+	// A long cycle with k small: no player sees far enough to know a
+	// better endpoint, and any swap within the view breaks the cycle
+	// locally (raising her view eccentricity). Must be swap-stable.
+	n, k := 20, 2
+	s := game.NewState(n)
+	for i := 0; i < n; i++ {
+		s.Buy(i, (i+1)%n)
+	}
+	if !IsSwapStable(s, k, MaxEcc) {
+		t.Fatal("locality cycle not swap-stable at k=2")
+	}
+}
+
+func TestTorusSwapStable(t *testing.T) {
+	// The §3.1 torus generalizes Alon et al.'s swap-stable construction;
+	// at the Theorem 3.12 view radius it must be swap-stable too (swap
+	// moves are a subset of the creation game's strategy space, under
+	// which the construction was already audited).
+	tor, err := construction.BuildTorus(construction.TorusParams{D: 2, L: 2, Delta: []int{3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSwapStable(tor.State, 4, MaxEcc) {
+		t.Fatal("Theorem 3.12 torus is not swap-stable at k=4")
+	}
+}
+
+func TestRunConvergesOnTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		s := game.FromGraphRandomOwners(gen.RandomTree(20, rng), rng)
+		res := Run(s, 3, MaxEcc, 100)
+		if !res.Converged {
+			t.Fatalf("trial %d: swap dynamics did not converge (%d swaps)", trial, res.Swaps)
+		}
+		if !IsSwapStable(s, 3, MaxEcc) {
+			t.Fatalf("trial %d: converged state not swap-stable", trial)
+		}
+	}
+}
+
+func TestSwapPreservesEdgeCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s := game.FromGraphRandomOwners(gen.RandomTree(15, rng), rng)
+	before := s.TotalBought()
+	Run(s, 3, SumDist, 50)
+	if s.TotalBought() != before {
+		t.Fatalf("swap dynamics changed bought count %d -> %d", before, s.TotalBought())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumObjectiveSwap(t *testing.T) {
+	s := game.FromGraphLowOwners(gen.Path(7))
+	m, ok := BestSwap(s, 0, 10, SumDist)
+	if !ok {
+		t.Fatal("no SUM swap on a path end")
+	}
+	if m.New == 1 {
+		t.Fatal("swap to the same endpoint")
+	}
+}
+
+func TestUsagePanicsOnUnknownObjective(t *testing.T) {
+	s := game.FromGraphLowOwners(gen.Path(4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	BestSwap(s, 0, 3, Objective(9))
+}

@@ -1,0 +1,88 @@
+package table
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestRenderBasic(t *testing.T) {
+	tb := New("Demo", "n", "value")
+	tb.AddRow("10", "3.14")
+	tb.AddRow("200", "2.72")
+	out := tb.String()
+	if !strings.Contains(out, "Demo") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "| n   | value |") {
+		t.Fatalf("header misaligned:\n%s", out)
+	}
+	if !strings.Contains(out, "| 200 | 2.72  |") {
+		t.Fatalf("row misaligned:\n%s", out)
+	}
+}
+
+func TestAddRowWrongArity(t *testing.T) {
+	tb := New("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong arity accepted")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := New("", "k", "mean", "f")
+	tb.AddRowf(3, stats.Summary{Mean: 1.5, HalfWidth: 0.25}, 2.0)
+	out := tb.String()
+	if !strings.Contains(out, "1.50 ± 0.25") {
+		t.Fatalf("summary formatting:\n%s", out)
+	}
+	if !strings.Contains(out, "| 3 ") {
+		t.Fatalf("int formatting:\n%s", out)
+	}
+	if !strings.Contains(out, "| 2 ") {
+		t.Fatalf("whole float should drop decimals:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if FormatFloat(3) != "3" {
+		t.Fatal("integer float")
+	}
+	if FormatFloat(3.14159) != "3.142" {
+		t.Fatalf("got %s", FormatFloat(3.14159))
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := New("ignored", "a", "b")
+	tb.AddRow("1", "x,y")
+	tb.AddRow("2", `say "hi"`)
+	var b strings.Builder
+	tb.RenderCSV(&b)
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines=%d:\n%s", len(lines), out)
+	}
+	if lines[0] != "a,b" {
+		t.Fatalf("header: %s", lines[0])
+	}
+	if lines[1] != `1,"x,y"` {
+		t.Fatalf("quoting: %s", lines[1])
+	}
+	if lines[2] != `2,"say ""hi"""` {
+		t.Fatalf("escaping: %s", lines[2])
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := New("", "h")
+	out := tb.String()
+	if !strings.Contains(out, "| h |") {
+		t.Fatalf("empty table render:\n%s", out)
+	}
+}

@@ -1,0 +1,70 @@
+package ncg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := RandomState(20, rng)
+	cfg := DefaultConfig(MaxNCG, 2, 3)
+	res := Run(s, cfg)
+	if res.Status != Converged {
+		t.Fatalf("status=%v", res.Status)
+	}
+	if !IsLKE(res.Final, cfg) {
+		t.Fatal("converged state is not an LKE")
+	}
+	if res.FinalStats.Quality < 1 {
+		t.Fatalf("quality=%v below 1", res.FinalStats.Quality)
+	}
+}
+
+func TestFacadeGraphConstructors(t *testing.T) {
+	if Star(5).M() != 4 || Complete(4).M() != 6 || Path(3).M() != 2 {
+		t.Fatal("deterministic families broken")
+	}
+	if CycleG(5).Diameter() != 2 {
+		t.Fatal("cycle diameter")
+	}
+	if Grid(2, 3).N() != 6 || Torus(3, 3).N() != 9 {
+		t.Fatal("grid/torus sizes")
+	}
+}
+
+func TestFacadeBestResponse(t *testing.T) {
+	s := FromGraphLowOwners(Path(6))
+	r := MaxBestResponse(s, 0, 10, 0.5)
+	if !r.Improving {
+		t.Fatal("path endpoint should improve at α=0.5")
+	}
+	if d := SumDelta(s, 0, 10, 0.5, r.Strategy); d >= 0 {
+		// The MAX-optimal move also helps the SUM objective here.
+		t.Fatalf("SumDelta=%v", d)
+	}
+}
+
+func TestFacadeBounds(t *testing.T) {
+	if MaxPoALowerBound(10000, 2, 100) <= 1 {
+		t.Fatal("Lemma 3.1 bound missing")
+	}
+	if !FullKnowledgeSum(100, 4) {
+		t.Fatal("Theorem 4.4 predicate")
+	}
+	if MaxPoAUpperBound(10000, 5, 2) <= 0 {
+		t.Fatal("upper bound non-positive")
+	}
+	_ = SumPoALowerBound(1000, 2, 64)
+	_ = FullKnowledgeMax(1000, 500, 2)
+}
+
+func TestFacadeSweep(t *testing.T) {
+	cells := SweepGrid([]float64{1}, []int{2}, 2)
+	res := Sweep(cells, DefaultConfig(MaxNCG, 0, 0), func(c Cell, rng *rand.Rand) *State {
+		return RandomState(10, rng)
+	}, 5)
+	if len(res) != 2 {
+		t.Fatalf("results=%d", len(res))
+	}
+}
