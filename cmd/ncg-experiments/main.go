@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	ncg-experiments -run all|tableI|tableII|fig5|fig6|fig7|fig8|fig9|fig10|census|audit
-//	               [-scale ci|paper] [-seed 1] [-csv]
+//	ncg-experiments -run all|tableI|tableII|fig1..fig10|census|audit|theory
+//	               [-scale ci|paper] [-seed 1] [-csv] [-checkpoint DIR]
 //
 // -scale paper reproduces the full §5.1 grids (15 α × 12 k × 20 seeds) —
 // expect a long run; -scale ci runs the representative sub-grid used by
-// the test suite and benchmarks.
+// the test suite and benchmarks. With -checkpoint DIR every sweep streams
+// its results to a resumable JSONL checkpoint: re-running after an
+// interruption skips all completed cells and produces identical output.
+// Unknown -run or -scale values exit non-zero with the list of valid ids.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -26,14 +30,15 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "experiment id (all, tableI, tableII, fig5..fig10, census, audit)")
-		scale  = flag.String("scale", "ci", "grid scale: ci | paper")
-		seed   = flag.Int64("seed", 1, "base RNG seed")
-		csv    = flag.Bool("csv", false, "emit CSV instead of ASCII tables")
-		seeds  = flag.Int("seeds", 0, "override: random starts per cell (0 = scale default)")
-		dynN   = flag.Int("dyn-n", 0, "override: tree size for the dynamics sweeps (0 = scale default)")
-		alphas = flag.String("alphas", "", "override: comma-separated α grid")
-		ks     = flag.String("ks", "", "override: comma-separated k grid")
+		run        = flag.String("run", "all", "experiment id (all, tableI, tableII, fig1..fig10, census, audit, theory)")
+		scale      = flag.String("scale", "ci", "grid scale: ci | paper")
+		seed       = flag.Int64("seed", 1, "base RNG seed")
+		csv        = flag.Bool("csv", false, "emit CSV instead of ASCII tables")
+		seeds      = flag.Int("seeds", 0, "override: random starts per cell (0 = scale default)")
+		dynN       = flag.Int("dyn-n", 0, "override: tree size for the dynamics sweeps (0 = scale default)")
+		alphas     = flag.String("alphas", "", "override: comma-separated α grid")
+		ks         = flag.String("ks", "", "override: comma-separated k grid")
+		checkpoint = flag.String("checkpoint", "", "directory for resumable sweep checkpoints (empty = in-memory only)")
 	)
 	flag.Parse()
 
@@ -43,10 +48,11 @@ func main() {
 	case "paper":
 		p.Scale = experiments.ScalePaper
 	default:
-		log.Fatalf("unknown scale %q", *scale)
+		log.Fatalf("unknown scale %q; valid: ci paper", *scale)
 	}
 	p.SeedsOverride = *seeds
 	p.DynTreeSize = *dynN
+	p.CheckpointDir = *checkpoint
 	if *alphas != "" {
 		for _, part := range strings.Split(*alphas, ",") {
 			x, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
@@ -76,85 +82,65 @@ func main() {
 		fmt.Println()
 	}
 
-	want := func(id string) bool { return *run == "all" || *run == id }
-	ran := false
+	// One dispatch table drives validation, the error text, and
+	// execution, so a new experiment cannot be wired up but unlisted (or
+	// listed but unwired).
+	drivers := []struct {
+		id  string
+		run func()
+	}{
+		{"tableI", func() { emit(experiments.TableI(p)) }},
+		{"tableII", func() { emit(experiments.TableII(p)) }},
+		{"fig1", func() {
+			t, err := experiments.Figure1(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			emit(t)
+		}},
+		{"fig2", func() {
+			t, err := experiments.Figure2(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			emit(t)
+		}},
+		{"fig3", func() { emit(experiments.Figure3(100000)) }},
+		{"fig4", func() { emit(experiments.Figure4(100000)) }},
+		{"fig5", func() { emit(experiments.Figure5(p)) }},
+		{"fig6", func() { emit(experiments.Figure6(p)) }},
+		{"fig7", func() { emit(experiments.Figure7(p)) }},
+		{"fig8", func() { emit(experiments.Figure8(p)) }},
+		{"fig9", func() { emit(experiments.Figure9(p)) }},
+		{"fig10", func() {
+			left, right := experiments.Figure10(p)
+			emit(left)
+			emit(right)
+		}},
+		{"census", func() { emit(experiments.CycleCensus(p)) }},
+		{"audit", func() {
+			emit(experiments.LowerBoundAudit(p))
+			emit(experiments.SumLowerBoundAudit(p))
+		}},
+		{"theory", func() {
+			t1, ok1 := experiments.Corollary314Check(p)
+			emit(t1)
+			t2, ok2 := experiments.Theorem44Check(p)
+			emit(t2)
+			fmt.Printf("Corollary 3.14 holds: %v; Theorem 4.4 holds: %v\n", ok1, ok2)
+		}},
+	}
 
-	if want("tableI") {
-		emit(experiments.TableI(p))
-		ran = true
+	valid := []string{"all"}
+	for _, d := range drivers {
+		valid = append(valid, d.id)
 	}
-	if want("tableII") {
-		emit(experiments.TableII(p))
-		ran = true
+	if !slices.Contains(valid, *run) {
+		log.Fatalf("unknown experiment %q; valid: %s", *run, strings.Join(valid, " "))
 	}
-	if want("fig1") {
-		t, err := experiments.Figure1(p)
-		if err != nil {
-			log.Fatal(err)
+	for _, d := range drivers {
+		if *run == "all" || *run == d.id {
+			d.run()
 		}
-		emit(t)
-		ran = true
-	}
-	if want("fig2") {
-		t, err := experiments.Figure2(p)
-		if err != nil {
-			log.Fatal(err)
-		}
-		emit(t)
-		ran = true
-	}
-	if want("fig3") {
-		emit(experiments.Figure3(100000))
-		ran = true
-	}
-	if want("fig4") {
-		emit(experiments.Figure4(100000))
-		ran = true
-	}
-	if want("fig5") {
-		emit(experiments.Figure5(p))
-		ran = true
-	}
-	if want("fig6") {
-		emit(experiments.Figure6(p))
-		ran = true
-	}
-	if want("fig7") {
-		emit(experiments.Figure7(p))
-		ran = true
-	}
-	if want("fig8") {
-		emit(experiments.Figure8(p))
-		ran = true
-	}
-	if want("fig9") {
-		emit(experiments.Figure9(p))
-		ran = true
-	}
-	if want("fig10") {
-		left, right := experiments.Figure10(p)
-		emit(left)
-		emit(right)
-		ran = true
-	}
-	if want("census") {
-		emit(experiments.CycleCensus(p))
-		ran = true
-	}
-	if want("audit") {
-		emit(experiments.LowerBoundAudit(p))
-		emit(experiments.SumLowerBoundAudit(p))
-		ran = true
-	}
-	if want("theory") {
-		t1, ok1 := experiments.Corollary314Check(p)
-		emit(t1)
-		t2, ok2 := experiments.Theorem44Check(p)
-		emit(t2)
-		fmt.Printf("Corollary 3.14 holds: %v; Theorem 4.4 holds: %v\n", ok1, ok2)
-		ran = true
-	}
-	if !ran {
-		log.Fatalf("unknown experiment %q; valid: all tableI tableII fig1..fig10 census audit theory", *run)
 	}
 }

@@ -1,0 +1,72 @@
+// Command ncg-server runs the sweepd daemon: a resumable
+// sweep-orchestration service with a durable job store, a cross-job
+// result cache, and an HTTP JSON API.
+//
+// Usage:
+//
+//	ncg-server -addr :8080 -data ./sweepd-data [-workers 0] [-cache 65536]
+//
+// Jobs are content-addressed by their spec, checkpointed to
+// <data>/<id>/results.jsonl one result-line at a time, and resumed
+// automatically on restart — a daemon killed mid-sweep picks up where the
+// checkpoint ends and produces byte-identical results.
+//
+// API:
+//
+//	POST   /sweeps              submit {"n":40,"alphas":[1,2],"ks":[2,1000],"seeds":5}
+//	GET    /sweeps              list jobs
+//	GET    /sweeps/{id}         job status
+//	GET    /sweeps/{id}/results stream results as NDJSON
+//	DELETE /sweeps/{id}         cancel (checkpoint kept)
+//	GET    /healthz             liveness + cache stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/sweepd"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "HTTP listen address")
+		data    = flag.String("data", "sweepd-data", "job store directory")
+		workers = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+		cacheSz = flag.Int("cache", 65536, "result cache entries (0 disables)")
+	)
+	flag.Parse()
+
+	store, err := sweepd.OpenStore(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr := sweepd.NewManager(store, sweepd.NewCache(*cacheSz), *workers)
+	if err := mgr.Resume(); err != nil {
+		log.Fatalf("resuming jobs: %v", err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: sweepd.NewHandler(mgr)}
+	go func() {
+		log.Printf("ncg-server listening on %s (store %s)", *addr, *data)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("shutting down: canceling sweeps, flushing checkpoints")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx) //nolint:errcheck
+	mgr.Close()
+}

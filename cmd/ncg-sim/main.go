@@ -55,14 +55,14 @@ func main() {
 	case "star":
 		s = game.FromGraphRandomOwners(gen.Star(*n), rng)
 	default:
-		log.Fatalf("unknown graph class %q", *graphF)
+		log.Fatalf("unknown graph class %q; valid: tree gnp path cycle star", *graphF)
 	}
 
 	v := game.Max
 	if *variant == "sum" {
 		v = game.Sum
 	} else if *variant != "max" {
-		log.Fatalf("unknown variant %q", *variant)
+		log.Fatalf("unknown variant %q; valid: max sum", *variant)
 	}
 
 	cfg := dynamics.DefaultConfig(v, *alpha, *k)

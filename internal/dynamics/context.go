@@ -1,0 +1,174 @@
+package dynamics
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// SweepOptions tunes SweepContext beyond the plain Sweep defaults. The
+// zero value reproduces Sweep exactly.
+type SweepOptions struct {
+	// Workers fixes the pool size; 0 means GOMAXPROCS. Results are
+	// identical for any worker count (per-cell seeding), so this only
+	// trades throughput for contention.
+	Workers int
+	// Have, when non-nil, is consulted before computing a cell. Returning
+	// (r, true) reuses r instead of re-running the dynamics — the hook for
+	// checkpoint resume and cross-job result caches. Reused results are
+	// still delivered to OnResult in their canonical position.
+	Have func(Cell) (Result, bool)
+	// OnResult, when non-nil, receives every cell's result in canonical
+	// cell order (the order of the cells slice), regardless of which
+	// worker finished first: result i+1 is never delivered before result
+	// i. A hold-back buffer sequences out-of-order completions, so a
+	// consumer that appends each call to a file gets a byte-stable prefix
+	// of the full canonical output even if the sweep is killed mid-run.
+	// Reused is true when the result came from Have. A non-nil error
+	// cancels the sweep.
+	OnResult func(i int, r CellResult, reused bool) error
+	// DiscardResults releases each result (including its final state)
+	// right after its OnResult delivery instead of accumulating the full
+	// slice — the streaming mode for sweeps far larger than memory. The
+	// returned slice then holds zero values. Completed-but-not-yet-emitted
+	// results are still buffered (the hold-back window), which stays
+	// small unless one early cell is pathologically slower than the rest.
+	DiscardResults bool
+	// Gate, when non-nil, is a shared token bucket: each worker takes a
+	// token before running a cell and returns it after, letting one
+	// process-wide bucket cap CPU-bound concurrency across many
+	// concurrent sweeps (the sweepd daemon's global worker cap).
+	Gate chan struct{}
+}
+
+// SweepContext is Sweep with cancellation, resume, and streaming. It runs
+// one dynamics per cell on a fixed worker pool and returns results indexed
+// like cells. Each cell derives a private RNG from baseSeed and its own
+// coordinates, so results are bit-identical regardless of worker count,
+// scheduling, or resume point — the hpc-parallel "determinism independent
+// of schedule" rule, extended to "independent of interruption".
+//
+// On cancellation it returns the partial results computed so far together
+// with ctx.Err(); entries never reached hold the CellResult zero value
+// (nil Result.Final). An OnResult error likewise aborts the sweep and is
+// returned.
+func SweepContext(ctx context.Context, cells []Cell, base Config, factory Factory, baseSeed int64, opt SweepOptions) ([]CellResult, error) {
+	out := make([]CellResult, len(cells))
+	reused := make([]bool, len(cells))
+
+	// Resolve reusable cells up front so workers only see real work.
+	todo := make([]int, 0, len(cells))
+	for i, c := range cells {
+		if opt.Have != nil {
+			if r, ok := opt.Have(c); ok {
+				out[i] = CellResult{Cell: c, Result: r}
+				reused[i] = true
+				continue
+			}
+		}
+		todo = append(todo, i)
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	next := make(chan int)    // index into cells
+	finished := make(chan int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if opt.Gate != nil {
+					select {
+					case <-opt.Gate:
+					case <-ctx.Done():
+						return
+					}
+				}
+				cell := cells[i]
+				rng := rand.New(rand.NewSource(cellSeed(baseSeed, cell)))
+				s := factory(cell, rng)
+				cfg := base
+				cfg.Alpha = cell.Alpha
+				cfg.K = cell.K
+				res, err := RunContext(ctx, s, cfg)
+				if opt.Gate != nil {
+					opt.Gate <- struct{}{}
+				}
+				if err != nil {
+					return // canceled mid-run: discard the partial result
+				}
+				out[i] = CellResult{Cell: cell, Result: res}
+				select {
+				case finished <- i:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(next)
+		for _, i := range todo {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(finished)
+	}()
+
+	// Sequencer: emit results in canonical order. Reused cells are ready
+	// immediately; computed cells become ready as workers finish.
+	ready := make(map[int]bool, workers)
+	nextEmit := 0
+	var emitErr error
+	emit := func() {
+		for nextEmit < len(cells) {
+			if !reused[nextEmit] && !ready[nextEmit] {
+				return
+			}
+			delete(ready, nextEmit)
+			if opt.OnResult != nil && emitErr == nil {
+				if err := opt.OnResult(nextEmit, out[nextEmit], reused[nextEmit]); err != nil {
+					emitErr = err
+					cancel()
+				}
+			}
+			if opt.DiscardResults {
+				out[nextEmit] = CellResult{}
+			}
+			nextEmit++
+		}
+	}
+	emit()
+	for i := range finished {
+		ready[i] = true
+		emit()
+	}
+	if emitErr != nil {
+		return out, emitErr
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}

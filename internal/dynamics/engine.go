@@ -5,6 +5,8 @@
 package dynamics
 
 import (
+	"context"
+
 	"repro/internal/bestresponse"
 	"repro/internal/game"
 	"repro/internal/view"
@@ -57,6 +59,20 @@ func (st Status) String() string {
 		return "round-limit"
 	default:
 		return "unknown"
+	}
+}
+
+// ParseStatus inverts Status.String (used by the ncgio codecs).
+func ParseStatus(s string) (Status, bool) {
+	switch s {
+	case "converged":
+		return Converged, true
+	case "cycled":
+		return Cycled, true
+	case "round-limit":
+		return RoundLimit, true
+	default:
+		return 0, false
 	}
 }
 
@@ -129,6 +145,15 @@ func DefaultConfig(variant game.Variant, alpha float64, k int) Config {
 // The run stops at convergence (a full quiet round), on a detected
 // best-response cycle, or at the round budget. s is mutated in place.
 func Run(s *game.State, cfg Config) Result {
+	res, _ := RunContext(context.Background(), s, cfg)
+	return res
+}
+
+// RunContext is Run with cancellation, checked between rounds. On
+// cancellation it returns the partial result accumulated so far (without
+// final statistics) together with ctx.Err(); the rounds already played
+// before the cancellation point are identical to an uninterrupted run's.
+func RunContext(ctx context.Context, s *game.State, cfg Config) (Result, error) {
 	if cfg.Responder == nil {
 		panic("dynamics: nil responder")
 	}
@@ -139,6 +164,9 @@ func Run(s *game.State, cfg Config) Result {
 	seen := map[uint64]int{} // end-of-round fingerprint → round index
 	n := s.N()
 	for round := 1; round <= cfg.MaxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		moves := 0
 		for u := 0; u < n; u++ {
 			r := cfg.Responder(s, u, cfg.K, cfg.Alpha)
@@ -172,7 +200,7 @@ func Run(s *game.State, cfg Config) Result {
 	if len(res.PerRound) > 0 {
 		res.FinalStats.Moves = res.PerRound[len(res.PerRound)-1].Moves
 	}
-	return res
+	return res, nil
 }
 
 // collect computes the round statistics on the current network.

@@ -1,0 +1,32 @@
+package dynamics
+
+import (
+	"math/rand"
+
+	"repro/internal/game"
+	"repro/internal/gen"
+)
+
+// TreeFactory builds random-tree starting states of the given size with
+// fair-coin edge ownership — the paper's standard setup (§5.1). Shared by
+// the figure drivers and the sweep daemon so both produce identical cells.
+func TreeFactory(n int) Factory {
+	return func(_ Cell, rng *rand.Rand) *game.State {
+		return game.FromGraphRandomOwners(gen.RandomTree(n, rng), rng)
+	}
+}
+
+// ERFactory builds connected Erdős–Rényi starting states. When G(n,p)
+// fails to connect within the retry budget — only plausible for p well
+// below the ln(n)/n connectivity threshold, which sweepd.Spec.Validate
+// rejects up front — it deterministically falls back to a random tree
+// rather than aborting the sweep.
+func ERFactory(n int, prob float64) Factory {
+	return func(_ Cell, rng *rand.Rand) *game.State {
+		g, err := gen.GNPConnected(n, prob, rng, 1000)
+		if err != nil {
+			return game.FromGraphRandomOwners(gen.RandomTree(n, rng), rng)
+		}
+		return game.FromGraphRandomOwners(g, rng)
+	}
+}

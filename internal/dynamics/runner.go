@@ -1,9 +1,8 @@
 package dynamics
 
 import (
+	"context"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/game"
 )
@@ -45,38 +44,10 @@ func Grid(alphas []float64, ks []int, seeds int) []Cell {
 // and returns results indexed like cells. Each cell derives a private RNG
 // from baseSeed and its own coordinates (splitmix-style), so results are
 // reproducible regardless of worker scheduling — the hpc-parallel
-// "determinism independent of schedule" rule.
+// "determinism independent of schedule" rule. Sweep is SweepContext with
+// no cancellation, no reuse, and default options.
 func Sweep(cells []Cell, base Config, factory Factory, baseSeed int64) []CellResult {
-	out := make([]CellResult, len(cells))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(cells) {
-		workers = len(cells)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				cell := cells[i]
-				rng := rand.New(rand.NewSource(cellSeed(baseSeed, cell)))
-				s := factory(cell, rng)
-				cfg := base
-				cfg.Alpha = cell.Alpha
-				cfg.K = cell.K
-				out[i] = CellResult{Cell: cell, Result: Run(s, cfg)}
-			}
-		}()
-	}
-	for i := range cells {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	out, _ := SweepContext(context.Background(), cells, base, factory, baseSeed, SweepOptions{})
 	return out
 }
 

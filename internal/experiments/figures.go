@@ -29,7 +29,8 @@ func aggregate(results []dynamics.CellResult, metric func(dynamics.CellResult) f
 // sweepTrees runs the standard tree sweep at the α×k grid of p.
 func sweepTrees(p Params, variant game.Variant) []dynamics.CellResult {
 	cells := dynamics.Grid(p.Alphas(), p.Ks(), p.Seeds())
-	return dynamics.Sweep(cells, baseConfig(variant), treeFactory(p.DynamicsTreeSize()), p.Seed)
+	label := fmt.Sprintf("trees-%s-n%d", variant, p.DynamicsTreeSize())
+	return runSweep(p, label, cells, baseConfig(variant), treeFactory(p.DynamicsTreeSize()), p.Seed)
 }
 
 // Figure5 reproduces Figure 5: minimum and average number of vertices in
@@ -64,7 +65,7 @@ func Figure6(p Params) *table.Table {
 	for _, alpha := range []float64{1, 10} {
 		for _, n := range sizes {
 			cells := dynamics.Grid([]float64{alpha}, p.Ks(), p.Seeds())
-			results := dynamics.Sweep(cells, baseConfig(game.Max), treeFactory(n), p.Seed+int64(n))
+			results := runSweep(p, fmt.Sprintf("fig6-trees-n%d-a%g", n, alpha), cells, baseConfig(game.Max), treeFactory(n), p.Seed+int64(n))
 			agg := aggregate(results, func(r dynamics.CellResult) float64 {
 				return r.Result.FinalStats.Quality
 			})
@@ -87,7 +88,7 @@ func Figure7(p Params) *table.Table {
 	ks := p.Ks()
 	for _, n := range p.TreeSizes() {
 		cells := dynamics.Grid([]float64{alpha}, ks, p.Seeds())
-		results := dynamics.Sweep(cells, baseConfig(game.Max), treeFactory(n), p.Seed+int64(7*n))
+		results := runSweep(p, fmt.Sprintf("fig7-trees-n%d", n), cells, baseConfig(game.Max), treeFactory(n), p.Seed+int64(7*n))
 		agg := aggregate(results, func(r dynamics.CellResult) float64 {
 			return r.Result.FinalStats.Quality
 		})
@@ -103,7 +104,7 @@ func Figure7(p Params) *table.Table {
 		nER, pER = 100, 0.2
 	}
 	cells := dynamics.Grid([]float64{alpha}, ks, p.Seeds())
-	results := dynamics.Sweep(cells, baseConfig(game.Max), erFactory(nER, pER), p.Seed+777)
+	results := runSweep(p, fmt.Sprintf("fig7-er-n%d-p%g", nER, pER), cells, baseConfig(game.Max), erFactory(nER, pER), p.Seed+777)
 	agg := aggregate(results, func(r dynamics.CellResult) float64 {
 		return r.Result.FinalStats.Quality
 	})
@@ -121,7 +122,7 @@ func Figure7(p Params) *table.Table {
 func Figure8(p Params) *table.Table {
 	n, prob := p.DynamicsERConfig()
 	cells := dynamics.Grid(p.Alphas(), p.Ks(), p.Seeds())
-	results := dynamics.Sweep(cells, baseConfig(game.Max), erFactory(n, prob), p.Seed+8)
+	results := runSweep(p, fmt.Sprintf("fig8-er-n%d-p%g", n, prob), cells, baseConfig(game.Max), erFactory(n, prob), p.Seed+8)
 	degAgg := aggregate(results, func(r dynamics.CellResult) float64 {
 		return float64(r.Result.FinalStats.MaxDegree)
 	})
@@ -146,7 +147,7 @@ func Figure8(p Params) *table.Table {
 func Figure9(p Params) *table.Table {
 	n, prob := p.DynamicsERConfig()
 	cells := dynamics.Grid(p.Alphas(), p.Ks(), p.Seeds())
-	results := dynamics.Sweep(cells, baseConfig(game.Max), erFactory(n, prob), p.Seed+9)
+	results := runSweep(p, fmt.Sprintf("fig9-er-n%d-p%g", n, prob), cells, baseConfig(game.Max), erFactory(n, prob), p.Seed+9)
 	agg := aggregate(results, func(r dynamics.CellResult) float64 {
 		return r.Result.FinalStats.Unfairness
 	})
@@ -187,7 +188,7 @@ func Figure10(p Params) (*table.Table, *table.Table) {
 		"n", "k", "rounds")
 	for _, n := range p.TreeSizes() {
 		cells := dynamics.Grid([]float64{2}, p.Ks(), p.Seeds())
-		res := dynamics.Sweep(cells, baseConfig(game.Max), treeFactory(n), p.Seed+int64(10*n))
+		res := runSweep(p, fmt.Sprintf("fig10-trees-n%d", n), cells, baseConfig(game.Max), treeFactory(n), p.Seed+int64(10*n))
 		agg := aggregate(res, func(r dynamics.CellResult) float64 {
 			return float64(r.Result.Rounds)
 		})

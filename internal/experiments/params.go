@@ -7,11 +7,8 @@
 package experiments
 
 import (
-	"math/rand"
-
 	"repro/internal/dynamics"
 	"repro/internal/game"
-	"repro/internal/gen"
 )
 
 // Scale selects experiment sizing.
@@ -39,6 +36,14 @@ type Params struct {
 	SeedsOverride int
 	TreeSizeGrid  []int
 	DynTreeSize   int
+
+	// CheckpointDir, when set, makes every dynamics sweep stream its
+	// results to a JSONL checkpoint in that directory and resume from it
+	// on the next invocation — so a paper-scale figure run killed halfway
+	// picks up where it stopped instead of starting over (and figures
+	// sharing a sweep reuse each other's files). Results are identical
+	// with or without checkpointing.
+	CheckpointDir string
 }
 
 // DefaultParams returns CI-scale parameters with a fixed seed.
@@ -121,25 +126,14 @@ func (p Params) DynamicsERConfig() (int, float64) {
 	return 50, 0.14
 }
 
-// treeFactory builds a random-tree starting state of the given size.
-func treeFactory(n int) dynamics.Factory {
-	return func(_ dynamics.Cell, rng *rand.Rand) *game.State {
-		return game.FromGraphRandomOwners(gen.RandomTree(n, rng), rng)
-	}
-}
-
-// erFactory builds a connected Erdős–Rényi starting state.
-func erFactory(n int, prob float64) dynamics.Factory {
-	return func(_ dynamics.Cell, rng *rand.Rand) *game.State {
-		g, err := gen.GNPConnected(n, prob, rng, 1000)
-		if err != nil {
-			// Fall back to a random tree rather than aborting a sweep —
-			// only reachable with pathological (n,p) choices.
-			return game.FromGraphRandomOwners(gen.RandomTree(n, rng), rng)
-		}
-		return game.FromGraphRandomOwners(g, rng)
-	}
-}
+// treeFactory and erFactory are the shared starting-state factories
+// (dynamics.TreeFactory / dynamics.ERFactory) — one definition serves
+// both the figure drivers and the sweep daemon, so their checkpointed
+// results stay interchangeable.
+var (
+	treeFactory = dynamics.TreeFactory
+	erFactory   = dynamics.ERFactory
+)
 
 // baseConfig returns the dynamics configuration used by every figure.
 func baseConfig(variant game.Variant) dynamics.Config {

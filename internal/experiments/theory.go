@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/bounds"
 	"repro/internal/dynamics"
 	"repro/internal/game"
@@ -66,7 +68,7 @@ func Theorem44Check(p Params) (*table.Table, bool) {
 	n := 14 // small enough for the exact SUMNCG responder
 	cells := dynamics.Grid(p.Alphas(), p.Ks(), p.Seeds())
 	cfg := baseConfig(game.Sum)
-	results := dynamics.Sweep(cells, cfg, treeFactory(n), p.Seed+44)
+	results := runSweep(p, fmt.Sprintf("thm44-trees-n%d", n), cells, cfg, treeFactory(n), p.Seed+44)
 	agg := aggregate(results, func(r dynamics.CellResult) float64 {
 		return fullViewFraction(r.Result.Final, r.Cell.K)
 	})

@@ -116,7 +116,11 @@ func (s *State) SetStrategy(u int, strategy []int) {
 			s.Unbuy(u, v)
 		}
 	}
-	for v := range want {
+	// Buy in the caller's order, not map order: the graph's adjacency
+	// lists record insertion order, so iterating the want map here would
+	// make BFS orders — and every downstream tie-break — depend on map
+	// iteration, breaking run-to-run determinism.
+	for _, v := range strategy {
 		s.Buy(u, v)
 	}
 }

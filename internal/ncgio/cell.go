@@ -1,0 +1,219 @@
+package ncgio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/dynamics"
+)
+
+// cellResultJSON is the wire form of one sweep cell outcome: the cell
+// coordinates, the run summary, the full final-round statistics, and the
+// final strategy profile. Per-round trajectories are intentionally not
+// serialized — sweeps do not collect them, and checkpoint lines must stay
+// small. Field order is fixed, so encoding the same result always yields
+// the same bytes (the property the resumable checkpoint format relies on).
+type cellResultJSON struct {
+	Alpha      float64             `json:"alpha"`
+	K          int                 `json:"k"`
+	Seed       int64               `json:"seed"`
+	Status     string              `json:"status"`
+	Rounds     int                 `json:"rounds"`
+	TotalMoves int                 `json:"total_moves"`
+	FinalStats dynamics.RoundStats `json:"final_stats"`
+	State      json.RawMessage     `json:"state,omitempty"`
+}
+
+// MarshalCellResult returns the canonical one-line JSON encoding of r
+// (without a trailing newline). Encoding is deterministic: the same
+// result always marshals to the same bytes.
+func MarshalCellResult(r dynamics.CellResult) ([]byte, error) {
+	out := cellResultJSON{
+		Alpha:      r.Cell.Alpha,
+		K:          r.Cell.K,
+		Seed:       r.Cell.Seed,
+		Status:     r.Result.Status.String(),
+		Rounds:     r.Result.Rounds,
+		TotalMoves: r.Result.TotalMoves,
+		FinalStats: r.Result.FinalStats,
+	}
+	if r.Result.Final != nil {
+		state, err := MarshalState(r.Result.Final)
+		if err != nil {
+			return nil, fmt.Errorf("ncgio: %w", err)
+		}
+		out.State = state
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalCellResult inverts MarshalCellResult. The embedded state (when
+// present) is fully decoded and validated; PerRound is always nil.
+func UnmarshalCellResult(line []byte) (dynamics.CellResult, error) {
+	var in cellResultJSON
+	if err := json.Unmarshal(line, &in); err != nil {
+		return dynamics.CellResult{}, fmt.Errorf("ncgio: %w", err)
+	}
+	status, ok := dynamics.ParseStatus(in.Status)
+	if !ok {
+		return dynamics.CellResult{}, fmt.Errorf("ncgio: unknown status %q", in.Status)
+	}
+	r := dynamics.CellResult{
+		Cell: dynamics.Cell{Alpha: in.Alpha, K: in.K, Seed: in.Seed},
+		Result: dynamics.Result{
+			Status:     status,
+			Rounds:     in.Rounds,
+			TotalMoves: in.TotalMoves,
+			FinalStats: in.FinalStats,
+		},
+	}
+	if len(in.State) > 0 {
+		s, err := DecodeState(bytes.NewReader(in.State))
+		if err != nil {
+			return dynamics.CellResult{}, err
+		}
+		r.Result.Final = s
+	}
+	return r, nil
+}
+
+// EncodeCellResult writes r to w as one JSONL line.
+func EncodeCellResult(w io.Writer, r dynamics.CellResult) error {
+	line, err := MarshalCellResult(r)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	_, err = w.Write(line)
+	return err
+}
+
+// DecodeCellResults reads all JSONL cell results from r. It is strict:
+// any malformed line is an error (use ReadCheckpoint for crash-tolerant
+// file reads).
+func DecodeCellResults(r io.Reader) ([]dynamics.CellResult, error) {
+	var out []dynamics.CellResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := UnmarshalCellResult(line)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("ncgio: %w", err)
+	}
+	return out, nil
+}
+
+// ReadCheckpoint loads a CellResult JSONL checkpoint file, tolerating a
+// torn tail: if the process died mid-append, the final partial line is
+// discarded and the file is truncated back to the last clean record, so a
+// subsequent resume appends from a well-formed prefix. A missing file is
+// an empty checkpoint, not an error.
+func ReadCheckpoint(path string) ([]dynamics.CellResult, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ncgio: %w", err)
+	}
+	var out []dynamics.CellResult
+	clean := 0 // byte offset of the end of the last clean record
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // torn tail: no terminating newline
+		}
+		line := bytes.TrimSpace(data[off : off+nl])
+		off += nl + 1
+		if len(line) == 0 {
+			clean = off
+			continue
+		}
+		rec, err := UnmarshalCellResult(line)
+		if err != nil {
+			break // torn or corrupt record: keep the prefix before it
+		}
+		out = append(out, rec)
+		clean = off
+	}
+	if clean < len(data) {
+		if err := os.Truncate(path, int64(clean)); err != nil {
+			return out, fmt.Errorf("ncgio: repairing torn checkpoint: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// CheckpointWriter appends CellResult lines to a checkpoint file. Each
+// record is handed to the OS as one whole-line write (so concurrent
+// readers only ever observe complete lines, barring a crash), and the
+// file is fsynced every SyncEvery records and on Close, bounding how much
+// a crash can lose — ReadCheckpoint repairs any torn tail.
+type CheckpointWriter struct {
+	f         *os.File
+	since     int
+	SyncEvery int
+}
+
+// NewCheckpointWriter opens path for appending, creating it as needed.
+func NewCheckpointWriter(path string) (*CheckpointWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ncgio: %w", err)
+	}
+	return &CheckpointWriter{f: f, SyncEvery: 32}, nil
+}
+
+// Append writes one result as a JSONL line.
+func (w *CheckpointWriter) Append(r dynamics.CellResult) error {
+	line, err := MarshalCellResult(r)
+	if err != nil {
+		return err
+	}
+	return w.AppendLine(line)
+}
+
+// AppendLine writes one pre-marshaled line (as produced by
+// MarshalCellResult, without the newline).
+func (w *CheckpointWriter) AppendLine(line []byte) error {
+	buf := make([]byte, 0, len(line)+1)
+	buf = append(buf, line...)
+	buf = append(buf, '\n')
+	if _, err := w.f.Write(buf); err != nil {
+		return err
+	}
+	w.since++
+	if w.since >= w.SyncEvery {
+		return w.Sync()
+	}
+	return nil
+}
+
+// Sync fsyncs the file.
+func (w *CheckpointWriter) Sync() error {
+	w.since = 0
+	return w.f.Sync()
+}
+
+// Close syncs and closes the underlying file.
+func (w *CheckpointWriter) Close() error {
+	serr := w.Sync()
+	cerr := w.f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,152 @@
+package ncgio
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dynamics"
+	"repro/internal/game"
+	"repro/internal/gen"
+)
+
+func sampleResults(t *testing.T, n int) []dynamics.CellResult {
+	t.Helper()
+	cells := dynamics.Grid([]float64{0.5, 2}, []int{2, 1000}, (n+3)/4)
+	cfg := dynamics.DefaultConfig(game.Max, 0, 0)
+	factory := func(cell dynamics.Cell, rng *rand.Rand) *game.State {
+		return game.FromGraphRandomOwners(gen.RandomTree(12, rng), rng)
+	}
+	out := dynamics.Sweep(cells, cfg, factory, 42)
+	if len(out) < n {
+		t.Fatalf("sample too small: %d < %d", len(out), n)
+	}
+	return out[:n]
+}
+
+func TestCellResultRoundTrip(t *testing.T) {
+	for _, r := range sampleResults(t, 8) {
+		line, err := MarshalCellResult(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalCellResult(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Cell != r.Cell {
+			t.Fatalf("cell: got %+v want %+v", back.Cell, r.Cell)
+		}
+		if back.Result.Status != r.Result.Status ||
+			back.Result.Rounds != r.Result.Rounds ||
+			back.Result.TotalMoves != r.Result.TotalMoves ||
+			back.Result.FinalStats != r.Result.FinalStats {
+			t.Fatalf("summary mismatch:\n got %+v\nwant %+v", back.Result, r.Result)
+		}
+		if back.Result.Final.Fingerprint() != r.Result.Final.Fingerprint() {
+			t.Fatal("final state fingerprint changed across round-trip")
+		}
+	}
+}
+
+func TestMarshalCellResultDeterministic(t *testing.T) {
+	r := sampleResults(t, 1)[0]
+	a, err := MarshalCellResult(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-marshaling a decoded result must reproduce the same bytes — the
+	// property that lets cache hits be appended to checkpoints verbatim.
+	back, err := UnmarshalCellResult(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalCellResult(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("marshal not stable across round-trip:\n%s\n%s", a, b)
+	}
+}
+
+func TestDecodeCellResultsStream(t *testing.T) {
+	results := sampleResults(t, 5)
+	var buf bytes.Buffer
+	for _, r := range results {
+		if err := EncodeCellResult(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := DecodeCellResults(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(results) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(results))
+	}
+	for i := range got {
+		if got[i].Cell != results[i].Cell {
+			t.Fatalf("record %d cell mismatch", i)
+		}
+	}
+}
+
+func TestReadCheckpointRepairsTornTail(t *testing.T) {
+	results := sampleResults(t, 4)
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	w, err := NewCheckpointWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: clip the last line in half.
+	torn := clean[:len(clean)-17]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(results)-1 {
+		t.Fatalf("recovered %d records, want %d", len(got), len(results)-1)
+	}
+	// The file must have been truncated back to the clean prefix so a
+	// resume appends from a well-formed boundary.
+	repaired, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPrefix := bytes.Join(bytes.SplitAfter(clean, []byte("\n"))[:len(results)-1], nil)
+	if !bytes.Equal(repaired, wantPrefix) {
+		t.Fatalf("repair wrong:\ngot  %q\nwant %q", repaired, wantPrefix)
+	}
+}
+
+func TestReadCheckpointMissingFile(t *testing.T) {
+	got, err := ReadCheckpoint(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil || got != nil {
+		t.Fatalf("missing file: got %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestUnmarshalCellResultRejectsBadStatus(t *testing.T) {
+	if _, err := UnmarshalCellResult([]byte(`{"alpha":1,"k":2,"seed":0,"status":"exploded"}`)); err == nil {
+		t.Fatal("bad status accepted")
+	}
+}

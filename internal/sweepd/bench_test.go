@@ -1,0 +1,93 @@
+package sweepd
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dynamics"
+	"repro/internal/ncgio"
+)
+
+// BenchmarkCheckpointEncode measures the per-cell cost of the streaming
+// checkpoint codec — the daemon pays this once per finished cell.
+func BenchmarkCheckpointEncode(b *testing.B) {
+	sp := Spec{N: 40, Alphas: []float64{2}, Ks: []int{1000}, Seeds: 1}
+	sp.Normalize()
+	res := dynamics.Sweep(sp.Cells(), sp.Config(), sp.Factory(), 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ncgio.MarshalCellResult(res[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpointDecode measures the resume path: parsing one line
+// back into a CellResult, state included.
+func BenchmarkCheckpointDecode(b *testing.B) {
+	sp := Spec{N: 40, Alphas: []float64{2}, Ks: []int{1000}, Seeds: 1}
+	sp.Normalize()
+	res := dynamics.Sweep(sp.Cells(), sp.Config(), sp.Factory(), 1)
+	line, err := ncgio.MarshalCellResult(res[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ncgio.UnmarshalCellResult(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheGetPut exercises the hot cache path under a realistic
+// keyspace.
+func BenchmarkCacheGetPut(b *testing.B) {
+	c := NewCache(4096)
+	line := []byte(`{"alpha":1,"k":2,"seed":0,"status":"converged","rounds":3,"total_moves":9}`)
+	cells := dynamics.Grid([]float64{0.5, 1, 2, 5}, []int{2, 4, 8, 1000}, 64)
+	kernels := make([]string, 4)
+	for i := range kernels {
+		kernels[i] = fmt.Sprintf("kernel-%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernel := kernels[i%len(kernels)]
+		cell := cells[i%len(cells)]
+		if _, ok := c.Get(kernel, cell); !ok {
+			c.Put(kernel, cell, line)
+		}
+	}
+}
+
+// BenchmarkSweepEndToEnd runs a small managed job start to finish —
+// store, checkpoint, and cache included — giving the daemon's per-job
+// overhead over a bare dynamics.Sweep.
+func BenchmarkSweepEndToEnd(b *testing.B) {
+	sp := Spec{N: 16, Alphas: []float64{1}, Ks: []int{4}, Seeds: 4}
+	sp.Normalize()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		store, err := OpenStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mgr := NewManager(store, NewCache(1024), 0)
+		b.StartTimer()
+
+		job, _, err := mgr.Submit(sp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mgr.Wait()
+		if j, _ := mgr.Get(job.ID); j.Status != StatusDone {
+			b.Fatalf("job ended %s: %s", j.Status, j.Error)
+		}
+		b.StopTimer()
+		mgr.Close()
+		b.StartTimer()
+	}
+}

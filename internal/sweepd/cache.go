@@ -1,0 +1,107 @@
+package sweepd
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/dynamics"
+)
+
+// cacheKey addresses one cell result by content: the spec kernel hash
+// (everything that determines the result except the grid) plus the cell
+// coordinates. Jobs with overlapping grids and identical kernels hit the
+// same entries.
+type cacheKey struct {
+	Kernel string
+	Cell   dynamics.Cell
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Cache is a bounded, concurrency-safe, content-addressed result cache.
+// Values are the canonical JSONL encodings of cell results (as produced
+// by ncgio.MarshalCellResult), so a hit can be appended to a checkpoint
+// verbatim and still be byte-identical to a recomputation. Eviction is
+// LRU.
+type Cache struct {
+	mu        sync.Mutex
+	max       int
+	entries   map[cacheKey]*list.Element
+	order     *list.List // front = most recently used
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	line []byte
+}
+
+// NewCache builds a cache holding at most max entries (max ≤ 0 disables
+// caching: Get always misses, Put is a no-op).
+func NewCache(max int) *Cache {
+	return &Cache{max: max, entries: make(map[cacheKey]*list.Element), order: list.New()}
+}
+
+// Get returns the cached line for (kernel, cell), if present.
+func (c *Cache) Get(kernel string, cell dynamics.Cell) ([]byte, bool) {
+	if c == nil || c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[cacheKey{Kernel: kernel, Cell: cell}]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).line, true
+}
+
+// Put stores the canonical line for (kernel, cell), evicting the least
+// recently used entry when full. The line is not copied; callers must not
+// mutate it afterwards.
+func (c *Cache) Put(kernel string, cell dynamics.Cell, line []byte) {
+	if c == nil || c.max <= 0 {
+		return
+	}
+	key := cacheKey{Kernel: kernel, Cell: cell}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).line = line
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, line: line})
+	for len(c.entries) > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   len(c.entries),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,356 @@
+package sweepd
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/dynamics"
+	"repro/internal/ncgio"
+)
+
+// JobStatus is the lifecycle state of a sweep job.
+type JobStatus string
+
+const (
+	// StatusRunning: the worker pool is executing (or resuming) the grid.
+	StatusRunning JobStatus = "running"
+	// StatusDone: every cell is checkpointed; results are complete.
+	StatusDone JobStatus = "done"
+	// StatusCanceled: stopped by request or daemon shutdown. The
+	// checkpoint keeps its clean prefix; resubmitting the same spec (or
+	// restarting the daemon) resumes from it.
+	StatusCanceled JobStatus = "canceled"
+	// StatusFailed: an I/O error interrupted checkpointing.
+	StatusFailed JobStatus = "failed"
+)
+
+// Job is a point-in-time snapshot of one sweep job.
+type Job struct {
+	ID        string    `json:"id"`
+	Spec      Spec      `json:"spec"`
+	Status    JobStatus `json:"status"`
+	Total     int       `json:"total_cells"`
+	Completed int       `json:"completed_cells"`
+	CacheHits int       `json:"cache_hits"`
+	Error     string    `json:"error,omitempty"`
+}
+
+type jobState struct {
+	job    Job
+	cancel context.CancelFunc
+	// canceling is set (under Manager.mu) the moment Cancel is called;
+	// the runner only observes the cancellation at its next check, so
+	// this flag lets a concurrent resubmit know the job is on its way
+	// down and must be restarted rather than returned as "running".
+	canceling bool
+	// done is closed when the runner goroutine has fully exited (runJob
+	// returned and the checkpoint file is closed), gating safe restarts.
+	done chan struct{}
+}
+
+// restartable reports whether the job is terminal (or about to be) and
+// may be re-admitted. Caller holds Manager.mu.
+func (js *jobState) restartable() bool {
+	return js.job.Status == StatusCanceled || js.job.Status == StatusFailed || js.canceling
+}
+
+// Manager owns the sweep jobs: it admits specs, runs each job's grid on a
+// context-aware worker pool, streams results into the store's checkpoint
+// files, consults the shared result cache, and resumes unfinished jobs
+// after a restart.
+type Manager struct {
+	store   *Store
+	cache   *Cache
+	workers int
+	// gate is the daemon-wide worker-token bucket: every job's pool draws
+	// from it, so total CPU-bound concurrency stays at `workers` no matter
+	// how many jobs run (or resume) at once.
+	gate chan struct{}
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu   sync.Mutex
+	jobs map[string]*jobState
+}
+
+// NewManager wires a manager over a store and a (possibly nil) cache.
+// workers ≤ 0 means GOMAXPROCS; the bound applies across all jobs
+// combined, not per job.
+func NewManager(store *Store, cache *Cache, workers int) *Manager {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	gate := make(chan struct{}, workers)
+	for i := 0; i < workers; i++ {
+		gate <- struct{}{}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{
+		store:   store,
+		cache:   cache,
+		workers: workers,
+		gate:    gate,
+		ctx:     ctx,
+		cancel:  cancel,
+		jobs:    make(map[string]*jobState),
+	}
+}
+
+// Resume scans the store and restarts every job whose checkpoint is
+// incomplete; complete jobs are registered as done. A job whose on-disk
+// spec is unreadable or invalid is registered as failed rather than
+// taking the daemon down — one bad job directory must never block the
+// rest from resuming. Call once after NewManager, before serving traffic.
+func (m *Manager) Resume() error {
+	ids, err := m.store.Jobs()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		sp, err := m.store.LoadSpec(id)
+		if err == nil {
+			err = sp.Validate()
+		}
+		if err != nil {
+			m.mu.Lock()
+			done := make(chan struct{})
+			close(done)
+			m.jobs[id] = &jobState{
+				job:    Job{ID: id, Status: StatusFailed, Error: err.Error()},
+				cancel: func() {},
+				done:   done,
+			}
+			m.mu.Unlock()
+			continue
+		}
+		m.admit(sp)
+	}
+	return nil
+}
+
+// Submit admits a job for the normalized, validated spec. Identical specs
+// collapse onto one job: resubmitting returns the existing job (possibly
+// already done) with created=false.
+func (m *Manager) Submit(sp Spec) (Job, bool, error) {
+	sp.Normalize()
+	if err := sp.Validate(); err != nil {
+		return Job{}, false, err
+	}
+	if _, _, err := m.store.CreateJob(sp); err != nil {
+		return Job{}, false, err
+	}
+	return m.admit(sp)
+}
+
+// admit registers the job and starts its runner. A job that is running
+// or done is returned as-is; a canceled or failed job is restarted from
+// its checkpoint (after its previous runner has fully drained, so two
+// runners never share a checkpoint file).
+func (m *Manager) admit(sp Spec) (Job, bool, error) {
+	id := sp.ID()
+	m.mu.Lock()
+	if js, ok := m.jobs[id]; ok {
+		if !js.restartable() {
+			job := js.job
+			m.mu.Unlock()
+			return job, false, nil
+		}
+		m.mu.Unlock()
+		<-js.done // old runner exits promptly once canceled
+		m.mu.Lock()
+		if cur := m.jobs[id]; cur != js {
+			// Someone else restarted it while we waited.
+			job := cur.job
+			m.mu.Unlock()
+			return job, false, nil
+		}
+	}
+	ctx, cancel := context.WithCancel(m.ctx)
+	js := &jobState{
+		job: Job{
+			ID:     id,
+			Spec:   sp,
+			Status: StatusRunning,
+			Total:  len(sp.Cells()),
+		},
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	created := m.jobs[id] == nil
+	m.jobs[id] = js
+	job := js.job
+	m.mu.Unlock()
+
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		defer close(js.done)
+		defer cancel()
+		m.runJob(ctx, js)
+	}()
+	return job, created, nil
+}
+
+// runJob resumes the job from its checkpoint and sweeps the remaining
+// cells, appending each result (in canonical cell order) as one JSONL
+// line. Cells found in the cross-job cache are reused without
+// recomputation but still checkpointed, so the results file of any
+// completed job is always the full canonical grid.
+func (m *Manager) runJob(ctx context.Context, js *jobState) {
+	id, sp := js.job.ID, js.job.Spec
+	fail := func(err error) {
+		m.mu.Lock()
+		js.job.Status = StatusFailed
+		js.job.Error = err.Error()
+		m.mu.Unlock()
+	}
+
+	kernel := sp.KernelHash()
+	prior, err := m.store.LoadResults(id)
+	if err != nil {
+		fail(err)
+		return
+	}
+	// Keep only the light summaries of checkpointed cells: their final
+	// states go into the cache as encoded lines and are then released,
+	// so resuming a huge job does not pin every decoded state in memory.
+	inCheckpoint := make(map[dynamics.Cell]bool, len(prior))
+	priorByCell := make(map[dynamics.Cell]dynamics.Result, len(prior))
+	for _, r := range prior {
+		if line, err := ncgio.MarshalCellResult(r); err == nil {
+			m.cache.Put(kernel, r.Cell, line)
+		}
+		inCheckpoint[r.Cell] = true
+		res := r.Result
+		res.Final = nil
+		priorByCell[r.Cell] = res
+	}
+	prior = nil
+
+	w, err := m.store.Appender(id)
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer w.Close()
+
+	have := func(c dynamics.Cell) (dynamics.Result, bool) {
+		if r, ok := priorByCell[c]; ok {
+			return r, true
+		}
+		if line, ok := m.cache.Get(kernel, c); ok {
+			if r, err := ncgio.UnmarshalCellResult(line); err == nil {
+				m.mu.Lock()
+				js.job.CacheHits++
+				m.mu.Unlock()
+				return r.Result, true
+			}
+		}
+		return dynamics.Result{}, false
+	}
+	onResult := func(_ int, r dynamics.CellResult, _ bool) error {
+		if inCheckpoint[r.Cell] {
+			// Already on disk (and cached above); just count it.
+			m.mu.Lock()
+			js.job.Completed++
+			m.mu.Unlock()
+			return nil
+		}
+		line, err := ncgio.MarshalCellResult(r)
+		if err != nil {
+			return err
+		}
+		if err := w.AppendLine(line); err != nil {
+			return err
+		}
+		m.cache.Put(kernel, r.Cell, line)
+		m.mu.Lock()
+		js.job.Completed++
+		m.mu.Unlock()
+		return nil
+	}
+
+	_, err = dynamics.SweepContext(ctx, sp.Cells(), sp.Config(), sp.Factory(), sp.BaseSeed, dynamics.SweepOptions{
+		Workers:        m.workers,
+		Gate:           m.gate,
+		Have:           have,
+		OnResult:       onResult,
+		DiscardResults: true,
+	})
+	if err := w.Sync(); err != nil {
+		fail(err)
+		return
+	}
+	switch {
+	case err == nil:
+		m.mu.Lock()
+		js.job.Status = StatusDone
+		m.mu.Unlock()
+	case ctx.Err() != nil:
+		m.mu.Lock()
+		js.job.Status = StatusCanceled
+		m.mu.Unlock()
+	default:
+		fail(err)
+	}
+}
+
+// Get snapshots one job.
+func (m *Manager) Get(id string) (Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	js, ok := m.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return js.job, true
+}
+
+// List snapshots all jobs, sorted by ID.
+func (m *Manager) List() []Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Job, 0, len(m.jobs))
+	for _, js := range m.jobs {
+		out = append(out, js.job)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Cancel stops a running job, keeping its checkpoint for later resume.
+// It reports whether the job exists.
+func (m *Manager) Cancel(id string) bool {
+	m.mu.Lock()
+	js, ok := m.jobs[id]
+	if ok && js.job.Status == StatusRunning {
+		js.canceling = true
+	}
+	m.mu.Unlock()
+	if !ok {
+		return false
+	}
+	js.cancel()
+	return true
+}
+
+// CacheStats exposes the shared cache counters (zero value if no cache).
+func (m *Manager) CacheStats() CacheStats { return m.cache.Stats() }
+
+// Close cancels all jobs and waits for their runners to drain. Checkpoints
+// stay on disk; a new manager over the same store resumes them.
+func (m *Manager) Close() {
+	m.cancel()
+	m.wg.Wait()
+}
+
+// Wait blocks until every currently admitted job's runner has returned
+// (test helper; production callers poll Get/List instead).
+func (m *Manager) Wait() { m.wg.Wait() }
+
+// ResultsPath exposes the job's checkpoint path for streaming reads.
+func (m *Manager) ResultsPath(id string) string { return m.store.ResultsPath(id) }

@@ -1,0 +1,113 @@
+package sweepd
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+)
+
+// NewHandler builds the sweepd HTTP JSON API over a manager:
+//
+//	POST   /sweeps              submit a Spec; idempotent (same spec ⇒ same job)
+//	GET    /sweeps              list job snapshots
+//	GET    /sweeps/{id}         one job snapshot
+//	GET    /sweeps/{id}/results stream the checkpoint as NDJSON (results so far)
+//	DELETE /sweeps/{id}         cancel a running job (checkpoint kept)
+//	GET    /healthz             liveness + job/cache counters
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok",
+			"jobs":   len(m.List()),
+			"cache":  m.CacheStats(),
+		})
+	})
+
+	mux.HandleFunc("POST /sweeps", func(w http.ResponseWriter, r *http.Request) {
+		var sp Spec
+		dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&sp); err != nil {
+			writeError(w, http.StatusBadRequest, "bad spec JSON: "+err.Error())
+			return
+		}
+		job, created, err := m.Submit(sp)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		code := http.StatusOK
+		if created {
+			code = http.StatusAccepted
+		}
+		writeJSON(w, code, job)
+	})
+
+	mux.HandleFunc("GET /sweeps", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"sweeps": m.List()})
+	})
+
+	mux.HandleFunc("GET /sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such sweep")
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+	})
+
+	mux.HandleFunc("GET /sweeps/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		job, ok := m.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such sweep")
+			return
+		}
+		f, err := os.Open(m.ResultsPath(id))
+		if os.IsNotExist(err) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.Header().Set("X-Sweep-Status", string(job.Status))
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		defer f.Close()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Sweep-Status", string(job.Status))
+		w.WriteHeader(http.StatusOK)
+		// The checkpoint grows by whole-line writes in canonical cell
+		// order, so streaming a running job yields a clean prefix of the
+		// final results; clients should discard an unterminated last line.
+		io.Copy(w, f) //nolint:errcheck // client disconnects are routine
+	})
+
+	mux.HandleFunc("DELETE /sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if !m.Cancel(id) {
+			writeError(w, http.StatusNotFound, "no such sweep")
+			return
+		}
+		job, _ := m.Get(id)
+		writeJSON(w, http.StatusOK, job)
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

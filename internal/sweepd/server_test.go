@@ -1,0 +1,224 @@
+package sweepd
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ncgio"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Manager) {
+	t.Helper()
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(store, NewCache(1024), 4)
+	srv := httptest.NewServer(NewHandler(mgr))
+	t.Cleanup(func() {
+		srv.Close()
+		mgr.Close()
+	})
+	return srv, mgr
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServerEndToEnd drives the full client flow over HTTP: submit a
+// sweep, poll its status, stream the results, and check every line
+// decodes and covers the full grid in canonical order.
+func TestServerEndToEnd(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	spec := `{"n": 12, "alphas": [0.5, 2], "ks": [2, 1000], "seeds": 2}`
+	resp, err := http.Post(srv.URL+"/sweeps", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /sweeps = %d, want 202", resp.StatusCode)
+	}
+	if job.ID == "" || job.Total != 8 {
+		t.Fatalf("job = %+v", job)
+	}
+
+	// Resubmitting the same spec is idempotent: 200, same job.
+	resp, err = http.Post(srv.URL+"/sweeps", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again Job
+	json.NewDecoder(resp.Body).Decode(&again) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || again.ID != job.ID {
+		t.Fatalf("resubmit = %d, job %s (want 200, %s)", resp.StatusCode, again.ID, job.ID)
+	}
+
+	// Poll until done.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var cur Job
+		if code := getJSON(t, srv.URL+"/sweeps/"+job.ID, &cur); code != http.StatusOK {
+			t.Fatalf("GET /sweeps/{id} = %d", code)
+		}
+		if cur.Status == StatusDone {
+			break
+		}
+		if cur.Status == StatusFailed {
+			t.Fatalf("job failed: %s", cur.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %+v", cur)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Stream the results and decode every NDJSON line.
+	res, err := http.Get(srv.URL + "/sweeps/" + job.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET results = %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	if st := res.Header.Get("X-Sweep-Status"); st != string(StatusDone) {
+		t.Fatalf("X-Sweep-Status = %q", st)
+	}
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	var lines int
+	for sc.Scan() {
+		if _, err := ncgio.UnmarshalCellResult(sc.Bytes()); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != job.Total {
+		t.Fatalf("streamed %d results, want %d", lines, job.Total)
+	}
+
+	// List includes the job.
+	var list struct {
+		Sweeps []Job `json:"sweeps"`
+	}
+	if code := getJSON(t, srv.URL+"/sweeps", &list); code != http.StatusOK {
+		t.Fatalf("GET /sweeps = %d", code)
+	}
+	if len(list.Sweeps) != 1 || list.Sweeps[0].ID != job.ID {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestServerRejectsBadSpecs(t *testing.T) {
+	srv, _ := newTestServer(t)
+	for _, body := range []string{
+		`not json`,
+		`{"n": 1, "alphas": [1], "ks": [2], "seeds": 1}`,           // n too small
+		`{"n": 10, "alphas": [], "ks": [2], "seeds": 1}`,           // empty grid
+		`{"n": 10, "alphas": [1], "ks": [2], "seeds": 1, "x": 1}`,  // unknown field
+		`{"n": 10, "alphas": [1], "ks": [2], "seeds": 1, "variant": "min"}`,
+	} {
+		resp, err := http.Post(srv.URL+"/sweeps", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("POST %q = %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestServerUnknownJob(t *testing.T) {
+	srv, _ := newTestServer(t)
+	if code := getJSON(t, srv.URL+"/sweeps/deadbeefdeadbeef", nil); code != http.StatusNotFound {
+		t.Fatalf("GET unknown = %d, want 404", code)
+	}
+	if code := getJSON(t, srv.URL+"/sweeps/deadbeefdeadbeef/results", nil); code != http.StatusNotFound {
+		t.Fatalf("GET unknown results = %d, want 404", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/sweeps/deadbeefdeadbeef", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE unknown = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var health struct {
+		Status string     `json:"status"`
+		Jobs   int        `json:"jobs"`
+		Cache  CacheStats `json:"cache"`
+	}
+	if code := getJSON(t, srv.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", code)
+	}
+	if health.Status != "ok" {
+		t.Fatalf("health = %+v", health)
+	}
+}
+
+func TestServerStreamsPartialResults(t *testing.T) {
+	srv, mgr := newTestServer(t)
+	job, _, err := mgr.Submit(bigSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// While running, the endpoint serves the results so far: every
+	// newline-terminated line must decode cleanly.
+	res, err := http.Get(srv.URL + "/sweeps/" + job.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i := bytes.LastIndexByte(body, '\n'); i >= 0 {
+		sc := bufio.NewScanner(bytes.NewReader(body[:i+1]))
+		for sc.Scan() {
+			if _, err := ncgio.UnmarshalCellResult(sc.Bytes()); err != nil {
+				t.Fatalf("partial stream line does not decode: %v", err)
+			}
+		}
+	}
+	waitStatus(t, mgr, job.ID, StatusDone)
+}

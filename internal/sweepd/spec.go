@@ -1,0 +1,205 @@
+// Package sweepd turns parameter sweeps into managed jobs: a durable job
+// store with streaming JSONL checkpoints (one CellResult per line), a
+// content-addressed result cache that dedupes repeated cells across jobs,
+// a context-aware worker pool on top of dynamics.SweepContext, and an
+// HTTP JSON API (cmd/ncg-server). Because every cell's RNG is derived
+// from the job's base seed and the cell coordinates alone, a job killed
+// mid-run and resumed from its checkpoint produces byte-identical results
+// to an uninterrupted run.
+package sweepd
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+
+	"repro/internal/dynamics"
+	"repro/internal/game"
+)
+
+// Spec declares one sweep job: the game and starting-network family, the
+// (α, k, seed) grid, and the dynamics budget. The zero values of optional
+// fields are normalized away, so specs that mean the same job hash the
+// same.
+type Spec struct {
+	// Variant is "max" or "sum" (default "max").
+	Variant string `json:"variant,omitempty"`
+	// Graph is the starting-network family: "tree" (random tree) or
+	// "gnp" (connected Erdős–Rényi, edge probability P). Default "tree".
+	Graph string `json:"graph,omitempty"`
+	// N is the number of players (required, ≥ 2).
+	N int `json:"n"`
+	// P is the G(n,p) edge probability, required iff Graph == "gnp".
+	P float64 `json:"p,omitempty"`
+	// Alphas and Ks span the grid; Seeds random starts per (α, k) pair.
+	Alphas []float64 `json:"alphas"`
+	Ks     []int     `json:"ks"`
+	Seeds  int       `json:"seeds"`
+	// BaseSeed feeds the per-cell RNG derivation (default 1).
+	BaseSeed int64 `json:"base_seed,omitempty"`
+	// MaxRounds and CycleCheckAfter bound the dynamics (defaults 100, 25 —
+	// the experiment-driver values).
+	MaxRounds       int `json:"max_rounds,omitempty"`
+	CycleCheckAfter int `json:"cycle_check_after,omitempty"`
+}
+
+// maxJobCells caps a single job's grid so one bad request can't pin the
+// server; paper scale (15×12×20 = 3600) fits comfortably.
+const maxJobCells = 200_000
+
+// Normalize fills defaults in place.
+func (sp *Spec) Normalize() {
+	if sp.Variant == "" {
+		sp.Variant = "max"
+	}
+	if sp.Graph == "" {
+		sp.Graph = "tree"
+	}
+	if sp.Graph != "gnp" {
+		sp.P = 0
+	}
+	if sp.BaseSeed == 0 {
+		sp.BaseSeed = 1
+	}
+	if sp.MaxRounds == 0 {
+		sp.MaxRounds = 100
+	}
+	if sp.CycleCheckAfter == 0 {
+		sp.CycleCheckAfter = 25
+	}
+	// Canonicalize the grids (sorted, deduped) so specs that span the same
+	// grid get the same ID regardless of listing order.
+	sp.Alphas = dedupFloats(sp.Alphas)
+	sp.Ks = dedupInts(sp.Ks)
+}
+
+// Validate reports the first problem with a normalized spec.
+func (sp Spec) Validate() error {
+	switch sp.Variant {
+	case "max", "sum":
+	default:
+		return fmt.Errorf("sweepd: unknown variant %q (valid: max sum)", sp.Variant)
+	}
+	if sp.N < 2 {
+		return fmt.Errorf("sweepd: need n ≥ 2, got %d", sp.N)
+	}
+	switch sp.Graph {
+	case "tree":
+	case "gnp":
+		if sp.P <= 0 || sp.P >= 1 {
+			return fmt.Errorf("sweepd: gnp needs 0 < p < 1, got %g", sp.P)
+		}
+		// Below the ln(n)/n connectivity threshold G(n,p) is almost never
+		// connected, so the factory would quietly substitute trees for
+		// essentially every cell (it only falls back on rare retry
+		// exhaustion). Reject such specs instead of mislabeling results.
+		if minP := math.Log(float64(sp.N)) / float64(sp.N); sp.P < minP {
+			return fmt.Errorf("sweepd: gnp p=%g is below the connectivity threshold ln(n)/n ≈ %.4f for n=%d; graphs would rarely connect", sp.P, minP, sp.N)
+		}
+	default:
+		return fmt.Errorf("sweepd: unknown graph %q (valid: tree gnp)", sp.Graph)
+	}
+	if len(sp.Alphas) == 0 {
+		return fmt.Errorf("sweepd: empty alpha grid")
+	}
+	for _, a := range sp.Alphas {
+		if a <= 0 {
+			return fmt.Errorf("sweepd: need α > 0, got %g", a)
+		}
+	}
+	if len(sp.Ks) == 0 {
+		return fmt.Errorf("sweepd: empty k grid")
+	}
+	for _, k := range sp.Ks {
+		if k < 1 {
+			return fmt.Errorf("sweepd: need k ≥ 1, got %d", k)
+		}
+	}
+	if sp.Seeds < 1 {
+		return fmt.Errorf("sweepd: need seeds ≥ 1, got %d", sp.Seeds)
+	}
+	if sp.MaxRounds < 1 || sp.CycleCheckAfter < 1 {
+		return fmt.Errorf("sweepd: need max_rounds ≥ 1 and cycle_check_after ≥ 1")
+	}
+	// Cap each factor before multiplying so a huge seeds value cannot
+	// overflow the product past the cap (and then panic grid expansion).
+	if len(sp.Alphas) > maxJobCells || len(sp.Ks) > maxJobCells || sp.Seeds > maxJobCells {
+		return fmt.Errorf("sweepd: grid dimension exceeds the %d-cell cap", maxJobCells)
+	}
+	if cells := int64(len(sp.Alphas)) * int64(len(sp.Ks)) * int64(sp.Seeds); cells > maxJobCells {
+		return fmt.Errorf("sweepd: grid has %d cells, cap is %d", cells, maxJobCells)
+	}
+	return nil
+}
+
+// ID is the job's content address: jobs with the same normalized spec are
+// the same job, which makes submission idempotent and restart-resumable.
+func (sp Spec) ID() string {
+	return hash(sp)[:16]
+}
+
+// KernelHash identifies everything that determines a single cell's result
+// EXCEPT the grid: variant, graph family, size, dynamics budget, and base
+// seed. Two jobs whose grids overlap share this hash, so the result cache
+// keyed by (KernelHash, cell) dedupes common cells across jobs.
+func (sp Spec) KernelHash() string {
+	kernel := sp
+	kernel.Alphas = nil
+	kernel.Ks = nil
+	kernel.Seeds = 0
+	return hash(kernel)
+}
+
+func hash(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic("sweepd: unmarshalable spec: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Cells expands the grid of a normalized spec in canonical (α-major,
+// then k, then seed) order, matching dynamics.Grid.
+func (sp Spec) Cells() []dynamics.Cell {
+	return dynamics.Grid(sp.Alphas, sp.Ks, sp.Seeds)
+}
+
+// Config builds the dynamics configuration for this job (α and k are
+// filled per cell by the sweep runner).
+func (sp Spec) Config() dynamics.Config {
+	v := game.Max
+	if sp.Variant == "sum" {
+		v = game.Sum
+	}
+	cfg := dynamics.DefaultConfig(v, 0, 0)
+	cfg.MaxRounds = sp.MaxRounds
+	cfg.CycleCheckAfter = sp.CycleCheckAfter
+	return cfg
+}
+
+// Factory builds the starting-state factory for this job (the shared
+// constructors in internal/dynamics, so daemon results match the figure
+// drivers' cell for cell).
+func (sp Spec) Factory() dynamics.Factory {
+	if sp.Graph == "gnp" {
+		return dynamics.ERFactory(sp.N, sp.P)
+	}
+	return dynamics.TreeFactory(sp.N)
+}
+
+func dedupFloats(in []float64) []float64 {
+	out := slices.Clone(in)
+	sort.Float64s(out)
+	return slices.Compact(out)
+}
+
+func dedupInts(in []int) []int {
+	out := slices.Clone(in)
+	sort.Ints(out)
+	return slices.Compact(out)
+}

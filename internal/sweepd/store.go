@@ -1,0 +1,114 @@
+package sweepd
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+
+	"repro/internal/dynamics"
+	"repro/internal/ncgio"
+)
+
+// Store is the durable side of sweepd: one directory per job holding the
+// normalized spec (spec.json) and the streaming results checkpoint
+// (results.jsonl, one canonical ncgio cell line per result, in canonical
+// cell order). Everything a restarted daemon needs to resume lives here.
+type Store struct {
+	root string
+}
+
+var jobIDPattern = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+// OpenStore opens (creating if needed) a store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweepd: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store directory.
+func (st *Store) Root() string { return st.root }
+
+func (st *Store) jobDir(id string) string   { return filepath.Join(st.root, id) }
+func (st *Store) specPath(id string) string { return filepath.Join(st.jobDir(id), "spec.json") }
+
+// ResultsPath returns the job's checkpoint file path.
+func (st *Store) ResultsPath(id string) string {
+	return filepath.Join(st.jobDir(id), "results.jsonl")
+}
+
+// CreateJob persists a normalized, validated spec under its content
+// address. It reports created=false when the job already exists (same
+// spec ⇒ same ID ⇒ same job), making submission idempotent. The spec is
+// written atomically (temp file + rename) so a half-written spec can
+// never be mistaken for a job.
+func (st *Store) CreateJob(sp Spec) (id string, created bool, err error) {
+	id = sp.ID()
+	if _, err := os.Stat(st.specPath(id)); err == nil {
+		return id, false, nil
+	}
+	if err := os.MkdirAll(st.jobDir(id), 0o755); err != nil {
+		return "", false, fmt.Errorf("sweepd: %w", err)
+	}
+	data, err := json.MarshalIndent(sp, "", "  ")
+	if err != nil {
+		return "", false, fmt.Errorf("sweepd: %w", err)
+	}
+	tmp := st.specPath(id) + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return "", false, fmt.Errorf("sweepd: %w", err)
+	}
+	if err := os.Rename(tmp, st.specPath(id)); err != nil {
+		return "", false, fmt.Errorf("sweepd: %w", err)
+	}
+	return id, true, nil
+}
+
+// LoadSpec reads a job's spec back.
+func (st *Store) LoadSpec(id string) (Spec, error) {
+	data, err := os.ReadFile(st.specPath(id))
+	if err != nil {
+		return Spec{}, fmt.Errorf("sweepd: %w", err)
+	}
+	var sp Spec
+	if err := json.Unmarshal(data, &sp); err != nil {
+		return Spec{}, fmt.Errorf("sweepd: job %s: %w", id, err)
+	}
+	sp.Normalize()
+	return sp, nil
+}
+
+// Jobs lists the IDs of all persisted jobs, sorted.
+func (st *Store) Jobs() ([]string, error) {
+	entries, err := os.ReadDir(st.root)
+	if err != nil {
+		return nil, fmt.Errorf("sweepd: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if !e.IsDir() || !jobIDPattern.MatchString(e.Name()) {
+			continue
+		}
+		if _, err := os.Stat(st.specPath(e.Name())); err != nil {
+			continue // half-created job: no committed spec
+		}
+		ids = append(ids, e.Name())
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// LoadResults reads a job's checkpoint, repairing a torn tail if the
+// previous process died mid-append.
+func (st *Store) LoadResults(id string) ([]dynamics.CellResult, error) {
+	return ncgio.ReadCheckpoint(st.ResultsPath(id))
+}
+
+// Appender opens the job's checkpoint for streaming appends.
+func (st *Store) Appender(id string) (*ncgio.CheckpointWriter, error) {
+	return ncgio.NewCheckpointWriter(st.ResultsPath(id))
+}

@@ -132,6 +132,8 @@ var (
 var (
 	// Run executes round-robin best-response dynamics (§5.1).
 	Run = dynamics.Run
+	// RunContext is Run with cancellation, checked between rounds.
+	RunContext = dynamics.RunContext
 	// DefaultConfig mirrors the paper's setup for a variant.
 	DefaultConfig = dynamics.DefaultConfig
 	// IsLKE audits a state for stability under the configured responder.
@@ -139,7 +141,14 @@ var (
 	// SweepGrid expands α×k×seed grids; Sweep runs them in parallel.
 	SweepGrid = dynamics.Grid
 	Sweep     = dynamics.Sweep
+	// SweepContext is Sweep with cancellation, resume (skip already-known
+	// cells), and in-order result streaming — the engine under the
+	// ncg-server sweep daemon (internal/sweepd).
+	SweepContext = dynamics.SweepContext
 )
+
+// SweepOptions tunes SweepContext (worker count, reuse hook, streaming).
+type SweepOptions = dynamics.SweepOptions
 
 // Theory (PoA bounds, Figures 3–4).
 var (
