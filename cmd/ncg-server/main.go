@@ -1,24 +1,31 @@
 // Command ncg-server runs the sweepd daemon: a resumable
-// sweep-orchestration service with a durable job store, a cross-job
-// result cache, and an HTTP JSON API.
+// sweep-orchestration service with a durable job store, a disk-backed
+// cross-job result cache, and an HTTP JSON API.
 //
 // Usage:
 //
-//	ncg-server -addr :8080 -data ./sweepd-data [-workers 0] [-cache 65536]
+//	ncg-server -addr :8080 -data ./sweepd-data [-workers 0] [-cache 65536] [-cache-dir DIR]
 //
 // Jobs are content-addressed by their spec, checkpointed to
 // <data>/<id>/results.jsonl one result-line at a time, and resumed
 // automatically on restart — a daemon killed mid-sweep picks up where the
-// checkpoint ends and produces byte-identical results.
+// checkpoint ends and produces byte-identical results. The result cache
+// spills to content-addressed files under <data>/cache (override with
+// -cache-dir; "none" keeps it memory-only), so restarts keep their hit
+// rate too.
 //
 // API:
 //
 //	POST   /sweeps              submit {"n":40,"alphas":[1,2],"ks":[2,1000],"seeds":5}
 //	GET    /sweeps              list jobs
 //	GET    /sweeps/{id}         job status
-//	GET    /sweeps/{id}/results stream results as NDJSON
-//	DELETE /sweeps/{id}         cancel (checkpoint kept)
+//	GET    /sweeps/{id}/results stream results as NDJSON; ?follow=1 tails a
+//	                            running job to completion (terminal status
+//	                            arrives as the X-Sweep-Status trailer)
+//	GET    /sweeps/{id}/summary per-(α,k) mean ± 95% CI roll-ups, server-side
+//	DELETE /sweeps/{id}         cancel (checkpoint kept; 409 if already terminal)
 //	GET    /healthz             liveness + cache stats
+//	GET    /metrics             Prometheus text-format counters
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -37,10 +45,11 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "HTTP listen address")
-		data    = flag.String("data", "sweepd-data", "job store directory")
-		workers = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
-		cacheSz = flag.Int("cache", 65536, "result cache entries (0 disables)")
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		data     = flag.String("data", "sweepd-data", "job store directory")
+		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+		cacheSz  = flag.Int("cache", 65536, "result cache entries in memory (0 disables caching entirely)")
+		cacheDir = flag.String("cache-dir", "", `result-cache spill directory ("" = <data>/cache, "none" = memory-only)`)
 	)
 	flag.Parse()
 
@@ -48,7 +57,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	mgr := sweepd.NewManager(store, sweepd.NewCache(*cacheSz), *workers)
+	var cache *sweepd.Cache
+	if *cacheDir == "none" {
+		cache = sweepd.NewCache(*cacheSz)
+	} else {
+		dir := *cacheDir
+		if dir == "" {
+			dir = filepath.Join(*data, "cache")
+		}
+		if cache, err = sweepd.NewDiskCache(*cacheSz, dir); err != nil {
+			log.Fatal(err)
+		}
+	}
+	mgr := sweepd.NewManager(store, cache, *workers)
 	if err := mgr.Resume(); err != nil {
 		log.Fatalf("resuming jobs: %v", err)
 	}

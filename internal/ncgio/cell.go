@@ -120,7 +120,9 @@ func DecodeCellResults(r io.Reader) ([]dynamics.CellResult, error) {
 // torn tail: if the process died mid-append, the final partial line is
 // discarded and the file is truncated back to the last clean record, so a
 // subsequent resume appends from a well-formed prefix. A missing file is
-// an empty checkpoint, not an error.
+// an empty checkpoint, not an error. Only a job's own runner should use
+// this (truncation races a live writer); readers serving a checkpoint
+// they do not own want LoadCheckpoint.
 func ReadCheckpoint(path string) ([]dynamics.CellResult, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -129,8 +131,36 @@ func ReadCheckpoint(path string) ([]dynamics.CellResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ncgio: %w", err)
 	}
-	var out []dynamics.CellResult
-	clean := 0 // byte offset of the end of the last clean record
+	out, clean := DecodePrefix(data)
+	if clean < len(data) {
+		if err := os.Truncate(path, int64(clean)); err != nil {
+			return out, fmt.Errorf("ncgio: repairing torn checkpoint: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// LoadCheckpoint reads a checkpoint without repairing it: the clean prefix
+// of records is returned and any torn or in-flight tail is ignored,
+// leaving the file untouched. Safe on a checkpoint another process — or a
+// live runner in this one — is still appending to.
+func LoadCheckpoint(path string) ([]dynamics.CellResult, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ncgio: %w", err)
+	}
+	out, _ := DecodePrefix(data)
+	return out, nil
+}
+
+// DecodePrefix decodes the clean whole-line prefix of checkpoint bytes,
+// returning the records and the byte offset just past the last clean one
+// (a torn or corrupt tail is left unconsumed rather than erroring, so
+// incremental readers can retry it once more bytes land).
+func DecodePrefix(data []byte) (out []dynamics.CellResult, clean int) {
 	for off := 0; off < len(data); {
 		nl := bytes.IndexByte(data[off:], '\n')
 		if nl < 0 {
@@ -149,12 +179,7 @@ func ReadCheckpoint(path string) ([]dynamics.CellResult, error) {
 		out = append(out, rec)
 		clean = off
 	}
-	if clean < len(data) {
-		if err := os.Truncate(path, int64(clean)); err != nil {
-			return out, fmt.Errorf("ncgio: repairing torn checkpoint: %w", err)
-		}
-	}
-	return out, nil
+	return out, clean
 }
 
 // CheckpointWriter appends CellResult lines to a checkpoint file. Each
@@ -166,6 +191,10 @@ type CheckpointWriter struct {
 	f         *os.File
 	since     int
 	SyncEvery int
+	// scratch assembles line+'\n' so each append is one whole-line write
+	// without a fresh per-record allocation (the daemon pays AppendLine
+	// once per finished cell).
+	scratch []byte
 }
 
 // NewCheckpointWriter opens path for appending, creating it as needed.
@@ -189,10 +218,9 @@ func (w *CheckpointWriter) Append(r dynamics.CellResult) error {
 // AppendLine writes one pre-marshaled line (as produced by
 // MarshalCellResult, without the newline).
 func (w *CheckpointWriter) AppendLine(line []byte) error {
-	buf := make([]byte, 0, len(line)+1)
-	buf = append(buf, line...)
-	buf = append(buf, '\n')
-	if _, err := w.f.Write(buf); err != nil {
+	w.scratch = append(w.scratch[:0], line...)
+	w.scratch = append(w.scratch, '\n')
+	if _, err := w.f.Write(w.scratch); err != nil {
 		return err
 	}
 	w.since++

@@ -1,0 +1,79 @@
+package ncgio
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// reverseScanChunk is the block size LastCompleteOffset reads while
+// scanning backwards for the final newline (a variable so tests can
+// shrink it to cover the multi-chunk path).
+var reverseScanChunk = 64 * 1024
+
+// LastCompleteOffset returns the offset one past the last '\n' within the
+// first size bytes of r — the length of a checkpoint's whole-line prefix.
+// Bytes past it belong to a torn or in-flight record and must not reach
+// readers that rely on line framing. Returns 0 when no newline exists.
+// The scan reads backwards in chunks, so clamping a large checkpoint with
+// a short tail touches only its final blocks.
+func LastCompleteOffset(r io.ReaderAt, size int64) (int64, error) {
+	buf := make([]byte, reverseScanChunk)
+	for end := size; end > 0; {
+		start := end - int64(len(buf))
+		if start < 0 {
+			start = 0
+		}
+		n, err := r.ReadAt(buf[:end-start], start)
+		if err != nil && err != io.EOF {
+			return 0, fmt.Errorf("ncgio: %w", err)
+		}
+		for i := n - 1; i >= 0; i-- {
+			if buf[i] == '\n' {
+				return start + int64(i) + 1, nil
+			}
+		}
+		end = start
+	}
+	return 0, nil
+}
+
+// Tailer incrementally reads whole-line frames from a growing checkpoint
+// file: each Next call exposes the complete ('\n'-terminated) lines
+// appended since the previous call, holding a torn tail back until its
+// newline lands. A live CheckpointWriter appends whole lines, so readers
+// polling through a Tailer only ever observe clean records; a tail torn
+// by a crashed writer is simply never served. If the checkpoint's owner
+// repairs such a tail (ReadCheckpoint truncates exactly to the whole-line
+// prefix before resuming appends), the Tailer's offset — which never
+// advances past that prefix — remains valid and tailing continues
+// seamlessly across the repair.
+type Tailer struct {
+	f   *os.File
+	off int64
+}
+
+// NewTailer tails f from its beginning.
+func NewTailer(f *os.File) *Tailer { return &Tailer{f: f} }
+
+// Next returns a reader over the newly appended complete-line bytes and
+// their count (0 when nothing new is ready). The reader streams straight
+// from the file — no buffering of the region in memory — and is valid
+// until the next call.
+func (t *Tailer) Next() (io.Reader, int64, error) {
+	fi, err := t.f.Stat()
+	if err != nil {
+		return nil, 0, fmt.Errorf("ncgio: %w", err)
+	}
+	size := fi.Size()
+	if size <= t.off {
+		return nil, 0, nil
+	}
+	rel, err := LastCompleteOffset(io.NewSectionReader(t.f, t.off, size-t.off), size-t.off)
+	if err != nil || rel == 0 {
+		return nil, 0, err
+	}
+	sec := io.NewSectionReader(t.f, t.off, rel)
+	t.off += rel
+	return sec, rel, nil
+}

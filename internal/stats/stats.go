@@ -58,12 +58,13 @@ func Variance(xs []float64) float64 {
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
 // Summary is a mean with its 95% confidence half-width, rendered as
-// "mean ± hw" in the paper's tables.
+// "mean ± hw" in the paper's tables (and served as JSON by the sweepd
+// summary endpoint).
 type Summary struct {
-	N    int
-	Mean float64
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
 	// HalfWidth is the 95% CI half-width; 0 when n < 2.
-	HalfWidth float64
+	HalfWidth float64 `json:"half_width"`
 }
 
 // Summarize computes the mean and 95% CI half-width of a sample.

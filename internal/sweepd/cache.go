@@ -1,10 +1,16 @@
 package sweepd
 
 import (
+	"bytes"
 	"container/list"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/dynamics"
+	"repro/internal/ncgio"
 )
 
 // cacheKey addresses one cell result by content: the spec kernel hash
@@ -22,6 +28,9 @@ type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
+	// DiskHits counts the subset of Hits served by promoting a spill
+	// file into the memory tier (always 0 for a memory-only cache).
+	DiskHits uint64 `json:"disk_hits"`
 }
 
 // Cache is a bounded, concurrency-safe, content-addressed result cache.
@@ -29,14 +38,24 @@ type CacheStats struct {
 // by ncgio.MarshalCellResult), so a hit can be appended to a checkpoint
 // verbatim and still be byte-identical to a recomputation. Eviction is
 // LRU.
+//
+// A cache built with NewDiskCache additionally spills every entry to a
+// content-addressed file (<dir>/<kernel>/<cell>.jsonl): the memory LRU
+// bounds the hot tier, while the spill tier persists across restarts, so
+// a daemon reopened over the same directory keeps its hit rate instead of
+// lazily re-warming from whichever checkpoints it happens to re-read.
+// Entries evicted from memory remain on disk and are promoted back on
+// their next Get.
 type Cache struct {
 	mu        sync.Mutex
 	max       int
+	dir       string // spill directory; "" = memory-only
 	entries   map[cacheKey]*list.Element
 	order     *list.List // front = most recently used
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	diskHits  uint64
 }
 
 type cacheEntry struct {
@@ -44,42 +63,74 @@ type cacheEntry struct {
 	line []byte
 }
 
-// NewCache builds a cache holding at most max entries (max ≤ 0 disables
-// caching: Get always misses, Put is a no-op).
+// NewCache builds a memory-only cache holding at most max entries
+// (max ≤ 0 disables caching: Get always misses, Put is a no-op).
 func NewCache(max int) *Cache {
 	return &Cache{max: max, entries: make(map[cacheKey]*list.Element), order: list.New()}
 }
 
-// Get returns the cached line for (kernel, cell), if present.
+// NewDiskCache builds a cache whose entries spill to files under dir.
+// The max bound applies to the in-memory tier only; spill files persist
+// until the store is garbage-collected (see ROADMAP: job GC). max ≤ 0
+// still disables the cache entirely, disk tier included.
+func NewDiskCache(max int, dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweepd: cache dir: %w", err)
+	}
+	c := NewCache(max)
+	c.dir = dir
+	return c, nil
+}
+
+// Get returns the cached line for (kernel, cell), if present in either
+// tier. A disk-tier hit promotes the entry into the memory LRU.
 func (c *Cache) Get(kernel string, cell dynamics.Cell) ([]byte, bool) {
 	if c == nil || c.max <= 0 {
 		return nil, false
 	}
+	key := cacheKey{Kernel: kernel, Cell: cell}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[cacheKey{Kernel: kernel, Cell: cell}]
-	if !ok {
-		c.misses++
-		return nil, false
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		line := el.Value.(*cacheEntry).line
+		c.mu.Unlock()
+		return line, true
 	}
-	c.hits++
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).line, true
+	c.mu.Unlock()
+	if line, ok := c.loadSpill(kernel, cell); ok {
+		c.put(key, line, false) // promote; already on disk
+		c.mu.Lock()
+		c.hits++
+		c.diskHits++
+		c.mu.Unlock()
+		return line, true
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return nil, false
 }
 
 // Put stores the canonical line for (kernel, cell), evicting the least
-// recently used entry when full. The line is not copied; callers must not
-// mutate it afterwards.
+// recently used memory entry when full and spilling to disk when the
+// cache is disk-backed. The line is not copied; callers must not mutate
+// it afterwards.
 func (c *Cache) Put(kernel string, cell dynamics.Cell, line []byte) {
 	if c == nil || c.max <= 0 {
 		return
 	}
-	key := cacheKey{Kernel: kernel, Cell: cell}
+	c.put(cacheKey{Kernel: kernel, Cell: cell}, line, true)
+}
+
+func (c *Cache) put(key cacheKey, line []byte, spill bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
+		// Deterministic per-cell seeding means an update carries the same
+		// bytes as the original; no need to re-spill.
 		el.Value.(*cacheEntry).line = line
 		c.order.MoveToFront(el)
+		c.mu.Unlock()
 		return
 	}
 	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, line: line})
@@ -88,6 +139,10 @@ func (c *Cache) Put(kernel string, cell dynamics.Cell, line []byte) {
 		c.order.Remove(last)
 		delete(c.entries, last.Value.(*cacheEntry).key)
 		c.evictions++
+	}
+	c.mu.Unlock()
+	if spill && c.dir != "" {
+		c.spillLine(key.Kernel, key.Cell, line)
 	}
 }
 
@@ -103,5 +158,61 @@ func (c *Cache) Stats() CacheStats {
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
+		DiskHits:  c.diskHits,
 	}
+}
+
+// spillPath addresses one entry's spill file. The α coordinate is encoded
+// via its exact float64 bits so distinct alphas can never collide in a
+// filename (and the kernel hash is already hex, safe as a directory).
+func (c *Cache) spillPath(kernel string, cell dynamics.Cell) string {
+	name := fmt.Sprintf("a%016x-k%d-s%d.jsonl", math.Float64bits(cell.Alpha), cell.K, cell.Seed)
+	return filepath.Join(c.dir, kernel, name)
+}
+
+// spillLine persists one entry via temp file + rename, so readers (and a
+// daemon killed mid-write) only ever see a complete file. Concurrent
+// spills of the same cell are benign: determinism means both writers
+// carry identical bytes, and rename is atomic. Spilling is best-effort —
+// on any error the memory tier still holds the line.
+func (c *Cache) spillLine(kernel string, cell dynamics.Cell, line []byte) {
+	path := c.spillPath(kernel, cell)
+	if _, err := os.Stat(path); err == nil {
+		return // already spilled (e.g. a checkpoint re-read on resume)
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(append(append(make([]byte, 0, len(line)+1), line...), '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil || os.Rename(tmp.Name(), path) != nil {
+		os.Remove(tmp.Name()) //nolint:errcheck
+	}
+}
+
+// loadSpill reads and validates one spill file. The stored form is the
+// canonical line plus a trailing newline (each spill file is itself a
+// valid one-record checkpoint); spill writes are atomic, so a file that
+// fails validation is external corruption and is deleted rather than
+// served.
+func (c *Cache) loadSpill(kernel string, cell dynamics.Cell) ([]byte, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	path := c.spillPath(kernel, cell)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	line := bytes.TrimSuffix(data, []byte("\n"))
+	if rec, err := ncgio.UnmarshalCellResult(line); err != nil || rec.Cell != cell {
+		os.Remove(path) //nolint:errcheck
+		return nil, false
+	}
+	return line, true
 }

@@ -1,0 +1,164 @@
+package sweepd
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/dynamics"
+)
+
+// cacheLine builds a valid canonical cell-result line for cell (spill
+// loads validate their content, so synthetic test lines must parse).
+func cacheLine(cell dynamics.Cell) []byte {
+	return []byte(fmt.Sprintf(
+		`{"alpha":%g,"k":%d,"seed":%d,"status":"converged","rounds":1,"total_moves":1}`,
+		cell.Alpha, cell.K, cell.Seed))
+}
+
+// TestCacheConcurrent hammers Put/Get/Stats from many goroutines over a
+// cache small enough to evict constantly; run under -race (CI does) it
+// guards the locking across both tiers.
+func TestCacheConcurrent(t *testing.T) {
+	for _, disk := range []bool{false, true} {
+		name := "memory"
+		if disk {
+			name = "disk"
+		}
+		t.Run(name, func(t *testing.T) {
+			var c *Cache
+			if disk {
+				var err error
+				if c, err = NewDiskCache(8, t.TempDir()); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				c = NewCache(8)
+			}
+			cells := dynamics.Grid([]float64{0.5, 1, 2}, []int{2, 4}, 4)
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 200; i++ {
+						cell := cells[(g+i)%len(cells)]
+						if line, ok := c.Get("kern", cell); ok {
+							if string(line) != string(cacheLine(cell)) {
+								panic("cache returned a foreign line")
+							}
+						} else {
+							c.Put("kern", cell, cacheLine(cell))
+						}
+						if i%17 == 0 {
+							c.Stats()
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			st := c.Stats()
+			if st.Entries > 8 {
+				t.Fatalf("memory tier over its bound: %+v", st)
+			}
+			if st.Hits == 0 || st.Misses == 0 {
+				t.Fatalf("degenerate workload: %+v", st)
+			}
+		})
+	}
+}
+
+// TestDiskCacheSurvivesRestart is the persistence contract: a fresh cache
+// opened over the same spill directory serves the previous process's
+// entries as hits.
+func TestDiskCacheSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewDiskCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := dynamics.Grid([]float64{1, 2, 3}, []int{2, 4}, 1) // 6 cells > memory bound 4
+	for _, cell := range cells {
+		c1.Put("kern", cell, cacheLine(cell))
+	}
+	if st := c1.Stats(); st.Evictions == 0 {
+		t.Fatalf("expected memory evictions, got %+v", st)
+	}
+	// Evicted entries are still served — from disk, promoted back.
+	for _, cell := range cells {
+		line, ok := c1.Get("kern", cell)
+		if !ok || string(line) != string(cacheLine(cell)) {
+			t.Fatalf("cell %+v lost after eviction", cell)
+		}
+	}
+	if st := c1.Stats(); st.DiskHits == 0 {
+		t.Fatalf("evicted entries not served from disk: %+v", st)
+	}
+
+	// "Restart": a brand-new cache over the same directory is warm.
+	c2, err := NewDiskCache(16, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range cells {
+		line, ok := c2.Get("kern", cell)
+		if !ok || string(line) != string(cacheLine(cell)) {
+			t.Fatalf("cell %+v cold after restart", cell)
+		}
+	}
+	st := c2.Stats()
+	if st.Hits != uint64(len(cells)) || st.DiskHits != uint64(len(cells)) || st.Misses != 0 {
+		t.Fatalf("restart stats = %+v, want %d disk hits and no misses", st, len(cells))
+	}
+	// Promoted entries now hit the memory tier.
+	if _, ok := c2.Get("kern", cells[0]); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if st := c2.Stats(); st.DiskHits != uint64(len(cells)) {
+		t.Fatalf("memory-tier hit counted as disk: %+v", st)
+	}
+
+	// A different kernel stays partitioned.
+	if _, ok := c2.Get("other", cells[0]); ok {
+		t.Fatal("kernel hash must partition the disk tier")
+	}
+}
+
+func TestDiskCacheRejectsCorruptSpill(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDiskCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := dynamics.Cell{Alpha: 1, K: 2, Seed: 3}
+	c.Put("kern", cell, cacheLine(cell))
+	path := c.spillPath("kern", cell)
+	if err := os.WriteFile(path, []byte(`{"alpha":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := NewDiskCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fresh.Get("kern", cell); ok {
+		t.Fatal("corrupt spill file served as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt spill file not deleted")
+	}
+
+	// A spill whose decoded cell disagrees with its address is rejected too.
+	other := dynamics.Cell{Alpha: 7, K: 9, Seed: 0}
+	if err := os.MkdirAll(filepath.Dir(fresh.spillPath("kern", other)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fresh.spillPath("kern", other), append(cacheLine(cell), '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fresh.Get("kern", other); ok {
+		t.Fatal("mis-addressed spill file served as a hit")
+	}
+}

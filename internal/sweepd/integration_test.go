@@ -3,6 +3,7 @@ package sweepd
 import (
 	"bytes"
 	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -132,6 +133,111 @@ func TestKilledJobResumesByteIdentical(t *testing.T) {
 	}
 }
 
+// TestWarmRestartServesFromDiskCache upgrades restart determinism to
+// restart warmth: a daemon killed mid-sweep leaves spill files behind,
+// and a restarted daemon serves those cells from the disk cache — zero
+// recomputation — even in the worst case where the checkpoint itself is
+// gone, while the final results stay byte-identical to an uninterrupted
+// run.
+func TestWarmRestartServesFromDiskCache(t *testing.T) {
+	sp := bigSpec()
+
+	// Reference: uninterrupted run in its own store, no cache involved.
+	refStore, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMgr := NewManager(refStore, nil, 4)
+	refJob, _, err := refMgr.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, refMgr, refJob.ID, StatusDone)
+	refMgr.Close()
+	refBytes, err := os.ReadFile(refStore.ResultsPath(refJob.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First daemon: disk-backed cache, killed once a few cells landed.
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	store1, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := NewDiskCache(4096, cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr1 := NewManager(store1, c1, 2)
+	job1, _, err := mgr1.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if job, _ := mgr1.Get(job1.ID); job.Completed >= 5 || job.Status == StatusDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never made progress")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mgr1.Close()
+
+	spills, err := os.ReadDir(filepath.Join(cacheDir, sp.KernelHash()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spilled := len(spills)
+	if spilled == 0 {
+		t.Fatal("no cells spilled before the kill")
+	}
+
+	// Worst-case restart: the checkpoint is lost entirely (equivalently, a
+	// brand-new job with the same cells arrives) — only the spill tier
+	// remains to keep the hit rate.
+	if err := os.Remove(store1.ResultsPath(job1.ID)); err != nil {
+		t.Fatal(err)
+	}
+	store2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewDiskCache(4096, cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr2 := NewManager(store2, c2, 4)
+	if err := mgr2.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	done := waitStatus(t, mgr2, job1.ID, StatusDone)
+	mgr2.Close()
+
+	// Every spilled cell must be cache-served — i.e. recomputed cells are
+	// exactly Total - spilled, none of the spilled set.
+	if done.CacheHits != spilled {
+		t.Fatalf("cache hits = %d, want %d (every spilled cell, no recomputation)",
+			done.CacheHits, spilled)
+	}
+	cs := c2.Stats()
+	if cs.Hits == 0 || cs.DiskHits != uint64(spilled) {
+		t.Fatalf("warm cache stats = %+v, want %d disk hits", cs, spilled)
+	}
+
+	resumed, err := os.ReadFile(store2.ResultsPath(job1.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumed, refBytes) {
+		t.Fatalf("warm-restart results differ from uninterrupted run: %d vs %d bytes",
+			len(resumed), len(refBytes))
+	}
+}
+
 // TestCacheDedupesAcrossJobs submits two jobs with overlapping grids and
 // checks the second reuses the shared cells from the cache — and that the
 // reused cells land in its checkpoint byte-identically.
@@ -236,8 +342,12 @@ func TestCancelJob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !mgr.Cancel(job.ID) {
+	snap, ok := mgr.Cancel(job.ID)
+	if !ok {
 		t.Fatal("cancel reported unknown job")
+	}
+	if snap.Status != StatusRunning {
+		t.Fatalf("cancel snapshot status = %s, want running", snap.Status)
 	}
 	deadline := time.Now().Add(30 * time.Second)
 	for {
@@ -250,7 +360,7 @@ func TestCancelJob(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if mgr.Cancel("没有这个") {
+	if _, ok := mgr.Cancel("没有这个"); ok {
 		t.Fatal("cancel invented a job")
 	}
 

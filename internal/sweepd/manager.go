@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/dynamics"
 	"repro/internal/ncgio"
@@ -73,8 +74,14 @@ type Manager struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
+	started time.Time
+
 	mu   sync.Mutex
 	jobs map[string]*jobState
+	// cellsAppended counts checkpoint lines written since this manager
+	// started (computed or cache-served; resume-skipped cells excluded),
+	// feeding the /metrics throughput gauges.
+	cellsAppended uint64
 }
 
 // NewManager wires a manager over a store and a (possibly nil) cache.
@@ -96,6 +103,7 @@ func NewManager(store *Store, cache *Cache, workers int) *Manager {
 		gate:    gate,
 		ctx:     ctx,
 		cancel:  cancel,
+		started: time.Now(),
 		jobs:    make(map[string]*jobState),
 	}
 }
@@ -270,6 +278,7 @@ func (m *Manager) runJob(ctx context.Context, js *jobState) {
 		m.cache.Put(kernel, r.Cell, line)
 		m.mu.Lock()
 		js.job.Completed++
+		m.cellsAppended++
 		m.mu.Unlock()
 		return nil
 	}
@@ -323,23 +332,55 @@ func (m *Manager) List() []Job {
 }
 
 // Cancel stops a running job, keeping its checkpoint for later resume.
-// It reports whether the job exists.
-func (m *Manager) Cancel(id string) bool {
+// It returns the job snapshot taken at the moment of the request and
+// whether the job exists; callers distinguish a genuine cancellation
+// (snapshot status "running") from a no-op on an already-terminal job by
+// inspecting that status.
+func (m *Manager) Cancel(id string) (Job, bool) {
 	m.mu.Lock()
 	js, ok := m.jobs[id]
-	if ok && js.job.Status == StatusRunning {
+	if !ok {
+		m.mu.Unlock()
+		return Job{}, false
+	}
+	job := js.job
+	if js.job.Status == StatusRunning {
 		js.canceling = true
 	}
 	m.mu.Unlock()
-	if !ok {
-		return false
-	}
 	js.cancel()
-	return true
+	return job, true
 }
 
 // CacheStats exposes the shared cache counters (zero value if no cache).
 func (m *Manager) CacheStats() CacheStats { return m.cache.Stats() }
+
+// ManagerStats snapshots daemon-wide throughput counters for /metrics.
+type ManagerStats struct {
+	// CellsAppended is the number of checkpoint lines written since the
+	// manager started (computed or cache-served; cells skipped on resume
+	// because they were already checkpointed are not counted).
+	CellsAppended uint64
+	Uptime        time.Duration
+	// Jobs counts jobs per lifecycle status (every status has an entry,
+	// possibly 0, so metric series never appear and disappear).
+	Jobs map[JobStatus]int
+}
+
+// Stats snapshots the manager's throughput counters.
+func (m *Manager) Stats() ManagerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	jobs := map[JobStatus]int{StatusRunning: 0, StatusDone: 0, StatusCanceled: 0, StatusFailed: 0}
+	for _, js := range m.jobs {
+		jobs[js.job.Status]++
+	}
+	return ManagerStats{
+		CellsAppended: m.cellsAppended,
+		Uptime:        time.Since(m.started),
+		Jobs:          jobs,
+	}
+}
 
 // Close cancels all jobs and waits for their runners to drain. Checkpoints
 // stay on disk; a new manager over the same store resumes them.

@@ -2,102 +2,477 @@ package sweepd
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/dynamics"
+	"repro/internal/ncgio"
+	"repro/internal/stats"
 )
+
+// handler carries the serving knobs alongside the manager; tests shrink
+// the intervals to drive follow mode fast.
+type handler struct {
+	m *Manager
+	// pollInterval is how often follow mode re-checks a running job's
+	// checkpoint for growth; heartbeatInterval is how long a follow
+	// stream may stay silent before a blank keep-alive line goes out
+	// (NDJSON consumers skip blank lines; proxies see traffic and keep
+	// the connection open).
+	pollInterval      time.Duration
+	heartbeatInterval time.Duration
+
+	mu        sync.Mutex
+	summaries map[string]*summaryState
+}
 
 // NewHandler builds the sweepd HTTP JSON API over a manager:
 //
 //	POST   /sweeps              submit a Spec; idempotent (same spec ⇒ same job)
 //	GET    /sweeps              list job snapshots
 //	GET    /sweeps/{id}         one job snapshot
-//	GET    /sweeps/{id}/results stream the checkpoint as NDJSON (results so far)
-//	DELETE /sweeps/{id}         cancel a running job (checkpoint kept)
+//	GET    /sweeps/{id}/results stream the checkpoint as NDJSON (results so far);
+//	                            ?follow=1 tails a running job to its terminal
+//	                            status (sent as the X-Sweep-Status trailer)
+//	GET    /sweeps/{id}/summary per-(α,k) stats.Summarize roll-ups, server-side
+//	DELETE /sweeps/{id}         cancel a running job (409 if already terminal)
 //	GET    /healthz             liveness + job/cache counters
+//	GET    /metrics             Prometheus text-format counters
 func NewHandler(m *Manager) http.Handler {
+	return newHandler(m, 150*time.Millisecond, 15*time.Second)
+}
+
+func newHandler(m *Manager, poll, heartbeat time.Duration) http.Handler {
+	h := &handler{
+		m:                 m,
+		pollInterval:      poll,
+		heartbeatInterval: heartbeat,
+		summaries:         make(map[string]*summaryState),
+	}
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("GET /metrics", h.metrics)
+	mux.HandleFunc("POST /sweeps", h.submit)
+	mux.HandleFunc("GET /sweeps", h.list)
+	mux.HandleFunc("GET /sweeps/{id}", h.get)
+	mux.HandleFunc("GET /sweeps/{id}/results", h.results)
+	mux.HandleFunc("GET /sweeps/{id}/summary", h.summary)
+	mux.HandleFunc("DELETE /sweeps/{id}", h.cancel)
+	return mux
+}
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status": "ok",
-			"jobs":   len(m.List()),
-			"cache":  m.CacheStats(),
-		})
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"jobs":   len(h.m.List()),
+		"cache":  h.m.CacheStats(),
 	})
+}
 
-	mux.HandleFunc("POST /sweeps", func(w http.ResponseWriter, r *http.Request) {
-		var sp Spec
-		dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&sp); err != nil {
-			writeError(w, http.StatusBadRequest, "bad spec JSON: "+err.Error())
-			return
-		}
-		job, created, err := m.Submit(sp)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		code := http.StatusOK
-		if created {
-			code = http.StatusAccepted
-		}
-		writeJSON(w, code, job)
-	})
+func (h *handler) submit(w http.ResponseWriter, r *http.Request) {
+	var sp Spec
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec JSON: "+err.Error())
+		return
+	}
+	job, created, err := h.m.Submit(sp)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, job)
+}
 
-	mux.HandleFunc("GET /sweeps", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"sweeps": m.List()})
-	})
+func (h *handler) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"sweeps": h.m.List()})
+}
 
-	mux.HandleFunc("GET /sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
-		job, ok := m.Get(r.PathValue("id"))
-		if !ok {
-			writeError(w, http.StatusNotFound, "no such sweep")
-			return
-		}
-		writeJSON(w, http.StatusOK, job)
-	})
+func (h *handler) get(w http.ResponseWriter, r *http.Request) {
+	job, ok := h.m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such sweep")
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
 
-	mux.HandleFunc("GET /sweeps/{id}/results", func(w http.ResponseWriter, r *http.Request) {
-		id := r.PathValue("id")
-		job, ok := m.Get(id)
-		if !ok {
-			writeError(w, http.StatusNotFound, "no such sweep")
+func (h *handler) results(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := h.m.Get(id); !ok {
+		writeError(w, http.StatusNotFound, "no such sweep")
+		return
+	}
+	if v := r.URL.Query().Get("follow"); v != "" {
+		if follow, err := strconv.ParseBool(v); err == nil && follow {
+			h.followResults(w, r, id)
 			return
 		}
-		f, err := os.Open(m.ResultsPath(id))
-		if os.IsNotExist(err) {
-			w.Header().Set("Content-Type", "application/x-ndjson")
-			w.Header().Set("X-Sweep-Status", string(job.Status))
-			w.WriteHeader(http.StatusOK)
-			return
-		}
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err.Error())
-			return
-		}
-		defer f.Close()
+	}
+	f, err := os.Open(h.m.ResultsPath(id))
+	// Snapshot the status only after the checkpoint is open: the job can
+	// reach a terminal status between the existence check above and the
+	// open, and a terminal label must only ever be attached to bytes read
+	// after it became terminal (runners sync the file before flipping the
+	// status, so status-then-read means "done" ⇒ the complete grid).
+	job, _ := h.m.Get(id)
+	if os.IsNotExist(err) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.Header().Set("X-Sweep-Status", string(job.Status))
 		w.WriteHeader(http.StatusOK)
-		// The checkpoint grows by whole-line writes in canonical cell
-		// order, so streaming a running job yields a clean prefix of the
-		// final results; clients should discard an unterminated last line.
-		io.Copy(w, f) //nolint:errcheck // client disconnects are routine
-	})
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	// Serve only the whole-line prefix: a crashed writer can leave a torn
+	// final line that no runner has repaired yet (spec-load-failed jobs
+	// never get one), and half a JSON record must not reach clients.
+	clamp, err := ncgio.LastCompleteOffset(f, fi.Size())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Sweep-Status", string(job.Status))
+	w.WriteHeader(http.StatusOK)
+	io.Copy(w, io.NewSectionReader(f, 0, clamp)) //nolint:errcheck // client disconnects are routine
+}
 
-	mux.HandleFunc("DELETE /sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
-		id := r.PathValue("id")
-		if !m.Cancel(id) {
-			writeError(w, http.StatusNotFound, "no such sweep")
+// followResults tails a job's checkpoint until the job reaches a terminal
+// status, streaming each newly appended whole line as it lands. The
+// terminal status cannot be known when headers go out, so it travels as
+// the X-Sweep-Status HTTP trailer instead.
+func (h *handler) followResults(w http.ResponseWriter, r *http.Request, id string) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Trailer", "X-Sweep-Status")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	var f *os.File
+	var tail *ncgio.Tailer
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+
+	lastByte := time.Now()
+	for {
+		// Status before drain: when this snapshot is terminal, every byte
+		// the finished runner synced is already on disk, so the drain
+		// below yields the complete grid — the stream can never end on a
+		// terminal status with bytes missing.
+		job, ok := h.m.Get(id)
+		if !ok {
 			return
 		}
-		job, _ := m.Get(id)
-		writeJSON(w, http.StatusOK, job)
-	})
+		terminal := job.Status != StatusRunning
 
-	return mux
+		if f == nil {
+			// The checkpoint appears shortly after admission (and never,
+			// for spec-load-failed jobs); keep trying while it is merely
+			// absent. Any other open error makes the stream unprovable, so
+			// end it without the trailer — same contract as a tail error.
+			ff, err := os.Open(h.m.ResultsPath(id))
+			switch {
+			case err == nil:
+				f = ff
+				tail = ncgio.NewTailer(f)
+			case !os.IsNotExist(err):
+				return
+			}
+		}
+		wrote := false
+		if tail != nil {
+			for {
+				sec, n, err := tail.Next()
+				if err != nil {
+					// The stream can no longer be proven complete; end it
+					// WITHOUT the terminal trailer so clients treat it as
+					// truncated rather than trusting a final status.
+					return
+				}
+				if n == 0 {
+					break
+				}
+				if _, err := io.Copy(w, sec); err != nil {
+					return // client gone
+				}
+				wrote = true
+			}
+		}
+		if wrote {
+			flush()
+			lastByte = time.Now()
+		}
+		if terminal {
+			w.Header().Set("X-Sweep-Status", string(job.Status))
+			return
+		}
+		if time.Since(lastByte) >= h.heartbeatInterval {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return
+			}
+			flush()
+			lastByte = time.Now()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(h.pollInterval):
+		}
+	}
+}
+
+// GroupSummary is one (α, k) row of a sweep summary: the §5.1 aggregates
+// over that group's seeds, each a mean with its 95% CI half-width.
+type GroupSummary struct {
+	Alpha float64 `json:"alpha"`
+	K     int     `json:"k"`
+	// Diameter and SocialCostRatio summarize the final networks (the
+	// ratio is social cost over the social optimum — "quality" in the
+	// paper's figures); Rounds summarizes dynamics length.
+	Diameter        stats.Summary `json:"diameter"`
+	SocialCostRatio stats.Summary `json:"social_cost_ratio"`
+	Rounds          stats.Summary `json:"rounds"`
+	// ConvergedRate's mean is the fraction of the group's seeds whose
+	// dynamics converged (the CI is over the 0/1 indicator sample).
+	ConvergedRate stats.Summary `json:"converged_rate"`
+}
+
+// SweepSummary is the /sweeps/{id}/summary payload. While the job runs,
+// Cells < TotalCells and the roll-ups cover the results so far.
+type SweepSummary struct {
+	ID         string         `json:"id"`
+	Status     JobStatus      `json:"status"`
+	Cells      int            `json:"cells"`
+	TotalCells int            `json:"total_cells"`
+	Groups     []GroupSummary `json:"groups"`
+}
+
+func (h *handler) summary(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// Status before data, same invariant as /results: a terminal label is
+	// only attached to checkpoint bytes read after the status flipped, so
+	// "done" summaries always cover the full grid.
+	job, ok := h.m.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such sweep")
+		return
+	}
+	h.mu.Lock()
+	st := h.summaries[id]
+	if st == nil {
+		st = newSummaryState()
+		h.summaries[id] = st
+	}
+	h.mu.Unlock()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.final != nil {
+		writeJSON(w, http.StatusOK, *st.final)
+		return
+	}
+	if err := st.advance(h.m.ResultsPath(id)); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	sum := st.build(job)
+	if job.Status == StatusDone {
+		// A done job's checkpoint never grows again, so freeze the built
+		// summary and release the raw samples — long-lived daemons keep
+		// one small payload per finished job instead of every per-cell
+		// observation. (Canceled/failed jobs can be resumed, so their
+		// samples stay live.)
+		st.final = &sum
+		st.roll = nil
+	}
+	writeJSON(w, http.StatusOK, sum)
+}
+
+// summaryGroupKey groups cells by parameter pair.
+type summaryGroupKey struct {
+	alpha float64
+	k     int
+}
+
+// summaryState incrementally accumulates one job's per-(α,k) roll-up:
+// each /summary request decodes only the checkpoint bytes appended since
+// the previous one, so dashboard polling costs O(new cells) — never a
+// full-grid re-read with every cell's final state decoded per poll.
+// Checkpoints are appended in canonical α-major order, so first-seen
+// group order is canonical too.
+type summaryState struct {
+	mu    sync.Mutex
+	off   int64 // checkpoint bytes consumed so far
+	cells int
+	roll  *stats.Rollup[summaryGroupKey]
+	// final is the frozen summary of a done job; once set, roll is
+	// released and requests serve this payload directly.
+	final *SweepSummary
+}
+
+func newSummaryState() *summaryState {
+	return &summaryState{
+		roll: stats.NewRollup[summaryGroupKey]("diameter", "social_cost_ratio", "rounds", "converged"),
+	}
+}
+
+func (st *summaryState) reset() {
+	fresh := newSummaryState()
+	st.off, st.cells, st.roll = fresh.off, fresh.cells, fresh.roll
+}
+
+// advance folds the checkpoint's newly appended clean records into the
+// roll-up. A file that vanished or shrank below the consumed offset means
+// the checkpoint was replaced (per-cell determinism guarantees any
+// rewrite is prefix-identical, so only an actual shrink forces a rebuild).
+func (st *summaryState) advance(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		if st.off > 0 {
+			st.reset()
+		}
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := fi.Size()
+	if size < st.off {
+		st.reset()
+	}
+	if size == st.off {
+		return nil
+	}
+	buf := make([]byte, size-st.off)
+	if _, err := io.ReadFull(io.NewSectionReader(f, st.off, size-st.off), buf); err != nil {
+		return err
+	}
+	recs, clean := ncgio.DecodePrefix(buf)
+	for _, r := range recs {
+		conv := 0.0
+		if r.Result.Status == dynamics.Converged {
+			conv = 1
+		}
+		st.roll.Add(summaryGroupKey{r.Cell.Alpha, r.Cell.K},
+			float64(r.Result.FinalStats.Diameter),
+			r.Result.FinalStats.Quality,
+			float64(r.Result.Rounds),
+			conv)
+	}
+	st.off += int64(clean)
+	st.cells += len(recs)
+	return nil
+}
+
+func (st *summaryState) build(job Job) SweepSummary {
+	out := SweepSummary{
+		ID:         job.ID,
+		Status:     job.Status,
+		Cells:      st.cells,
+		TotalCells: job.Total,
+		Groups:     []GroupSummary{},
+	}
+	for _, key := range st.roll.Keys() {
+		s := st.roll.Summaries(key)
+		out.Groups = append(out.Groups, GroupSummary{
+			Alpha:           key.alpha,
+			K:               key.k,
+			Diameter:        s["diameter"],
+			SocialCostRatio: s["social_cost_ratio"],
+			Rounds:          s["rounds"],
+			ConvergedRate:   s["converged"],
+		})
+	}
+	return out
+}
+
+func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
+	ms := h.m.Stats()
+	cs := h.m.CacheStats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	cellsPerSec := 0.0
+	if secs := ms.Uptime.Seconds(); secs > 0 {
+		cellsPerSec = float64(ms.CellsAppended) / secs
+	}
+	fmt.Fprintf(w, "# HELP sweepd_cells_appended_total Checkpoint lines written since daemon start (computed or cache-served).\n")
+	fmt.Fprintf(w, "# TYPE sweepd_cells_appended_total counter\n")
+	fmt.Fprintf(w, "sweepd_cells_appended_total %d\n", ms.CellsAppended)
+	fmt.Fprintf(w, "# HELP sweepd_cells_per_second Mean checkpoint throughput over the daemon's uptime.\n")
+	fmt.Fprintf(w, "# TYPE sweepd_cells_per_second gauge\n")
+	fmt.Fprintf(w, "sweepd_cells_per_second %g\n", cellsPerSec)
+	fmt.Fprintf(w, "# HELP sweepd_uptime_seconds Seconds since the daemon's manager started.\n")
+	fmt.Fprintf(w, "# TYPE sweepd_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "sweepd_uptime_seconds %g\n", ms.Uptime.Seconds())
+	fmt.Fprintf(w, "# HELP sweepd_cache_hits_total Result-cache hits (memory and disk tiers).\n")
+	fmt.Fprintf(w, "# TYPE sweepd_cache_hits_total counter\n")
+	fmt.Fprintf(w, "sweepd_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "# HELP sweepd_cache_disk_hits_total Subset of hits promoted from the disk spill tier.\n")
+	fmt.Fprintf(w, "# TYPE sweepd_cache_disk_hits_total counter\n")
+	fmt.Fprintf(w, "sweepd_cache_disk_hits_total %d\n", cs.DiskHits)
+	fmt.Fprintf(w, "# HELP sweepd_cache_misses_total Result-cache misses.\n")
+	fmt.Fprintf(w, "# TYPE sweepd_cache_misses_total counter\n")
+	fmt.Fprintf(w, "sweepd_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "# HELP sweepd_cache_evictions_total Memory-tier LRU evictions.\n")
+	fmt.Fprintf(w, "# TYPE sweepd_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "sweepd_cache_evictions_total %d\n", cs.Evictions)
+	fmt.Fprintf(w, "# HELP sweepd_cache_entries Entries resident in the memory tier.\n")
+	fmt.Fprintf(w, "# TYPE sweepd_cache_entries gauge\n")
+	fmt.Fprintf(w, "sweepd_cache_entries %d\n", cs.Entries)
+	fmt.Fprintf(w, "# HELP sweepd_jobs Jobs per lifecycle status.\n")
+	fmt.Fprintf(w, "# TYPE sweepd_jobs gauge\n")
+	for _, st := range []JobStatus{StatusRunning, StatusDone, StatusCanceled, StatusFailed} {
+		fmt.Fprintf(w, "sweepd_jobs{status=%q} %d\n", st, ms.Jobs[st])
+	}
+}
+
+func (h *handler) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := h.m.Cancel(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such sweep")
+		return
+	}
+	if job.Status != StatusRunning {
+		// Nothing was canceled; saying 200 here would let clients believe
+		// they stopped a job that had already finished (or failed).
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": fmt.Sprintf("sweep already %s", job.Status),
+			"sweep": job,
+		})
+		return
+	}
+	fresh, _ := h.m.Get(id)
+	writeJSON(w, http.StatusOK, fresh)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

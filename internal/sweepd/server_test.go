@@ -7,21 +7,32 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/dynamics"
 	"repro/internal/ncgio"
+	"repro/internal/stats"
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *Manager) {
+	t.Helper()
+	return newTestServerTuned(t, 150*time.Millisecond, 15*time.Second)
+}
+
+// newTestServerTuned shrinks the follow-mode poll and heartbeat intervals
+// so streaming tests run fast.
+func newTestServerTuned(t *testing.T, poll, heartbeat time.Duration) (*httptest.Server, *Manager) {
 	t.Helper()
 	store, err := OpenStore(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
 	mgr := NewManager(store, NewCache(1024), 4)
-	srv := httptest.NewServer(NewHandler(mgr))
+	srv := httptest.NewServer(newHandler(mgr, poll, heartbeat))
 	t.Cleanup(func() {
 		srv.Close()
 		mgr.Close()
@@ -169,6 +180,9 @@ func TestServerUnknownJob(t *testing.T) {
 	if code := getJSON(t, srv.URL+"/sweeps/deadbeefdeadbeef/results", nil); code != http.StatusNotFound {
 		t.Fatalf("GET unknown results = %d, want 404", code)
 	}
+	if code := getJSON(t, srv.URL+"/sweeps/deadbeefdeadbeef/summary", nil); code != http.StatusNotFound {
+		t.Fatalf("GET unknown summary = %d, want 404", code)
+	}
 	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/sweeps/deadbeefdeadbeef", nil)
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
@@ -220,5 +234,423 @@ func TestServerStreamsPartialResults(t *testing.T) {
 			}
 		}
 	}
+	// The clamp satellite: even mid-run, the served body must end on a
+	// newline — never half a record.
+	if len(body) > 0 && body[len(body)-1] != '\n' {
+		t.Fatalf("served stream not clamped to whole lines: ends %q", body[len(body)-20:])
+	}
 	waitStatus(t, mgr, job.ID, StatusDone)
+}
+
+// decodeStream splits an NDJSON body into cell results, skipping blank
+// (heartbeat) lines.
+func decodeStream(t *testing.T, body []byte) []dynamics.CellResult {
+	t.Helper()
+	var out []dynamics.CellResult
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		r, err := ncgio.UnmarshalCellResult(line)
+		if err != nil {
+			t.Fatalf("line %d does not decode: %v", len(out), err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestServerFollowStreamsLiveJob attaches a ?follow=1 client to a running
+// job and checks it receives every cell of the canonical grid, heartbeat
+// blanks while idle, a clean EOF when the job finishes, and the terminal
+// status in the X-Sweep-Status trailer.
+func TestServerFollowStreamsLiveJob(t *testing.T) {
+	srv, mgr := newTestServerTuned(t, 5*time.Millisecond, time.Millisecond)
+	sp := bigSpec()
+	job, _, err := mgr.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := http.Get(srv.URL + "/sweeps/" + job.ID + "/results?follow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET ?follow=1 = %d", res.StatusCode)
+	}
+	body, err := io.ReadAll(res.Body) // blocks until the job is terminal
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := res.Trailer.Get("X-Sweep-Status"); st != string(StatusDone) {
+		t.Fatalf("trailer X-Sweep-Status = %q, want done", st)
+	}
+	results := decodeStream(t, body)
+	want := sp.Cells()
+	if len(results) != len(want) {
+		t.Fatalf("followed %d cells, want %d", len(results), len(want))
+	}
+	for i, r := range results {
+		if r.Cell != want[i] {
+			t.Fatalf("cell %d = %+v, want canonical %+v", i, r.Cell, want[i])
+		}
+	}
+	// Following an already-done job returns the full grid and closes.
+	res, err = http.Get(srv.URL + "/sweeps/" + job.ID + "/results?follow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeStream(t, body); len(got) != len(want) {
+		t.Fatalf("follow-after-done streamed %d cells, want %d", len(got), len(want))
+	}
+	if st := res.Trailer.Get("X-Sweep-Status"); st != string(StatusDone) {
+		t.Fatalf("follow-after-done trailer = %q", st)
+	}
+
+	// ?follow=false is a plain snapshot: status in the header, no trailer.
+	res, err = http.Get(srv.URL + "/sweeps/" + job.ID + "/results?follow=false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := res.Header.Get("X-Sweep-Status"); st != string(StatusDone) {
+		t.Fatalf("follow=false header = %q, want done", st)
+	}
+	if got := decodeStream(t, body); len(got) != len(want) {
+		t.Fatalf("follow=false streamed %d cells, want %d", len(got), len(want))
+	}
+}
+
+// TestServerFollowHeartbeatsAndTornTail drives follow mode against a
+// hand-fed job, deterministically: the client must receive blank
+// heartbeat lines while the checkpoint idles, never see a torn fragment,
+// pick up the line once its newline lands, and get the terminal trailer
+// when the status flips.
+func TestServerFollowHeartbeatsAndTornTail(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(store, nil, 1)
+	t.Cleanup(mgr.Close)
+
+	// Register a synthetic running job whose checkpoint this test writes.
+	closed := make(chan struct{})
+	close(closed)
+	js := &jobState{job: Job{ID: "feedjob", Status: StatusRunning, Total: 2}, cancel: func() {}, done: closed}
+	mgr.mu.Lock()
+	mgr.jobs["feedjob"] = js
+	mgr.mu.Unlock()
+
+	path := mgr.ResultsPath("feedjob")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cell1 := dynamics.Cell{Alpha: 1, K: 2, Seed: 0}
+	cell2 := dynamics.Cell{Alpha: 1, K: 2, Seed: 1}
+	f.Write(append(cacheLine(cell1), '\n')) //nolint:errcheck
+
+	srv := httptest.NewServer(newHandler(mgr, time.Millisecond, 2*time.Millisecond))
+	t.Cleanup(srv.Close)
+	res, err := http.Get(srv.URL + "/sweeps/feedjob/results?follow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+
+	bodyCh := make(chan []byte, 1)
+	go func() {
+		b, _ := io.ReadAll(res.Body)
+		bodyCh <- b
+	}()
+
+	time.Sleep(30 * time.Millisecond) // idle: heartbeats must flow
+	f.Write(cacheLine(cell2)[:10])    //nolint:errcheck // torn fragment
+	time.Sleep(20 * time.Millisecond)
+	f.Write(append(cacheLine(cell2)[10:], '\n')) //nolint:errcheck
+	time.Sleep(20 * time.Millisecond)
+	mgr.mu.Lock()
+	js.job.Status = StatusDone
+	mgr.mu.Unlock()
+
+	body := <-bodyCh
+	if st := res.Trailer.Get("X-Sweep-Status"); st != string(StatusDone) {
+		t.Fatalf("trailer = %q, want done", st)
+	}
+	if !bytes.Contains(body, []byte("\n\n")) {
+		t.Fatal("no heartbeat blank lines while the checkpoint idled")
+	}
+	results := decodeStream(t, body)
+	if len(results) != 2 || results[0].Cell != cell1 || results[1].Cell != cell2 {
+		t.Fatalf("followed cells = %+v", results)
+	}
+}
+
+// TestServerSummaryMatchesClientSide is the aggregates contract: the
+// server-side /summary roll-up must equal stats.Summarize computed
+// client-side from the /results stream — including after mid-run polls,
+// which exercise the incremental (decode-only-new-bytes) accumulation.
+func TestServerSummaryMatchesClientSide(t *testing.T) {
+	srv, mgr := newTestServer(t)
+	sp := bigSpec()
+	job, _, err := mgr.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Poll /summary while the job runs: cell counts must be monotone and
+	// bounded, and a terminal status must only ever label a full grid.
+	prevCells := 0
+	for {
+		var mid SweepSummary
+		if code := getJSON(t, srv.URL+"/sweeps/"+job.ID+"/summary", &mid); code != http.StatusOK {
+			t.Fatalf("GET summary mid-run = %d", code)
+		}
+		if mid.Cells < prevCells || mid.Cells > job.Total {
+			t.Fatalf("summary cells went %d -> %d (total %d)", prevCells, mid.Cells, job.Total)
+		}
+		prevCells = mid.Cells
+		if mid.Status != StatusRunning && mid.Cells != job.Total {
+			t.Fatalf("terminal summary (%s) covers %d of %d cells", mid.Status, mid.Cells, job.Total)
+		}
+		if mid.Status == StatusDone {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	waitStatus(t, mgr, job.ID, StatusDone)
+
+	res, err := http.Get(srv.URL + "/sweeps/" + job.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := decodeStream(t, body)
+	if len(results) != job.Total {
+		t.Fatalf("results = %d cells, want %d", len(results), job.Total)
+	}
+
+	// Client-side roll-up, straight from stats.Summarize.
+	type key struct {
+		alpha float64
+		k     int
+	}
+	samples := map[key]map[string][]float64{}
+	var order []key
+	for _, r := range results {
+		k := key{r.Cell.Alpha, r.Cell.K}
+		if samples[k] == nil {
+			samples[k] = map[string][]float64{}
+			order = append(order, k)
+		}
+		conv := 0.0
+		if r.Result.Status == dynamics.Converged {
+			conv = 1
+		}
+		samples[k]["diameter"] = append(samples[k]["diameter"], float64(r.Result.FinalStats.Diameter))
+		samples[k]["ratio"] = append(samples[k]["ratio"], r.Result.FinalStats.Quality)
+		samples[k]["rounds"] = append(samples[k]["rounds"], float64(r.Result.Rounds))
+		samples[k]["conv"] = append(samples[k]["conv"], conv)
+	}
+
+	var got SweepSummary
+	if code := getJSON(t, srv.URL+"/sweeps/"+job.ID+"/summary", &got); code != http.StatusOK {
+		t.Fatalf("GET summary = %d", code)
+	}
+	if got.ID != job.ID || got.Status != StatusDone || got.Cells != job.Total || got.TotalCells != job.Total {
+		t.Fatalf("summary envelope = %+v", got)
+	}
+	if len(got.Groups) != len(order) {
+		t.Fatalf("summary has %d groups, want %d", len(got.Groups), len(order))
+	}
+	for i, g := range got.Groups {
+		k := order[i]
+		if g.Alpha != k.alpha || g.K != k.k {
+			t.Fatalf("group %d = (%g,%d), want (%g,%d)", i, g.Alpha, g.K, k.alpha, k.k)
+		}
+		if want := stats.Summarize(samples[k]["diameter"]); g.Diameter != want {
+			t.Fatalf("group %+v diameter = %+v, want %+v", k, g.Diameter, want)
+		}
+		if want := stats.Summarize(samples[k]["ratio"]); g.SocialCostRatio != want {
+			t.Fatalf("group %+v ratio = %+v, want %+v", k, g.SocialCostRatio, want)
+		}
+		if want := stats.Summarize(samples[k]["rounds"]); g.Rounds != want {
+			t.Fatalf("group %+v rounds = %+v, want %+v", k, g.Rounds, want)
+		}
+		if want := stats.Summarize(samples[k]["conv"]); g.ConvergedRate != want {
+			t.Fatalf("group %+v converged = %+v, want %+v", k, g.ConvergedRate, want)
+		}
+	}
+}
+
+// TestServerDeleteTerminalConflict: canceling a job that already reached
+// a terminal status is a 409, not a pretend-success 200.
+func TestServerDeleteTerminalConflict(t *testing.T) {
+	srv, mgr := newTestServer(t)
+	sp := Spec{N: 10, Alphas: []float64{1}, Ks: []int{2}, Seeds: 2}
+	job, _, err := mgr.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, mgr, job.ID, StatusDone)
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/sweeps/"+job.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var conflict struct {
+		Error string `json:"error"`
+		Sweep Job    `json:"sweep"`
+	}
+	json.NewDecoder(resp.Body).Decode(&conflict) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE done job = %d, want 409", resp.StatusCode)
+	}
+	if conflict.Sweep.Status != StatusDone || !strings.Contains(conflict.Error, "done") {
+		t.Fatalf("conflict body = %+v", conflict)
+	}
+
+	// A genuinely running job still cancels with 200 …
+	running, _, err := mgr.Submit(bigSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/sweeps/"+running.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE running job = %d, want 200", resp.StatusCode)
+	}
+	// … and once it lands in canceled, a second DELETE conflicts too.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		j, _ := mgr.Get(running.ID)
+		if j.Status == StatusCanceled || j.Status == StatusDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s after cancel", j.Status)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/sweeps/"+running.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("second DELETE = %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestServerResultsClampsTornTail simulates a crashed writer: a torn
+// final line in the checkpoint (never repaired, because the job is
+// terminal) must not reach /results clients.
+func TestServerResultsClampsTornTail(t *testing.T) {
+	srv, mgr := newTestServer(t)
+	sp := Spec{N: 10, Alphas: []float64{1}, Ks: []int{2}, Seeds: 2}
+	job, _, err := mgr.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, mgr, job.ID, StatusDone)
+
+	path := mgr.ResultsPath(job.ID)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"alpha":1,"k":2,"se`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	res, err := http.Get(srv.URL + "/sweeps/" + job.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, orig) {
+		t.Fatalf("torn tail leaked: served %d bytes, want the %d-byte clean prefix",
+			len(body), len(orig))
+	}
+}
+
+func TestServerMetrics(t *testing.T) {
+	srv, mgr := newTestServer(t)
+	sp := Spec{N: 10, Alphas: []float64{1}, Ks: []int{2}, Seeds: 2}
+	job, _, err := mgr.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, mgr, job.ID, StatusDone)
+
+	res, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"sweepd_cells_appended_total 2\n",
+		"sweepd_cells_per_second ",
+		"sweepd_cache_hits_total ",
+		"sweepd_cache_disk_hits_total ",
+		"sweepd_cache_misses_total ",
+		"sweepd_cache_evictions_total ",
+		"sweepd_cache_entries ",
+		`sweepd_jobs{status="done"} 1`,
+		`sweepd_jobs{status="running"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, text)
+		}
+	}
 }
