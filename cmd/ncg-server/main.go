@@ -5,6 +5,16 @@
 // Usage:
 //
 //	ncg-server -addr :8080 -data ./sweepd-data [-workers 0] [-cache 65536] [-cache-dir DIR]
+//	           [-job-ttl 24h] [-gc-interval 1m] [-max-jobs 4096] [-rate 0]
+//
+// The daemon bounds its own growth: done/failed jobs are garbage-
+// collected -job-ttl after they finish (directory, cache spill files,
+// and summary state all reclaimed; 0 disables GC), at most -max-jobs
+// jobs are retained (submissions beyond the cap get 429), and -rate
+// caps requests/second per endpoint class (read vs mutate; 429 +
+// Retry-After beyond it, 0 = unlimited). Canceled jobs keep their
+// checkpoints — they are resumable — and are never GC'd; purge them
+// explicitly with DELETE /sweeps/{id}?purge=1.
 //
 // Jobs are content-addressed by their spec, checkpointed to
 // <data>/<id>/results.jsonl one result-line at a time, and resumed
@@ -24,6 +34,8 @@
 //	                            arrives as the X-Sweep-Status trailer)
 //	GET    /sweeps/{id}/summary per-(α,k) mean ± 95% CI roll-ups, server-side
 //	DELETE /sweeps/{id}         cancel (checkpoint kept; 409 if already terminal)
+//	DELETE /sweeps/{id}?purge=1 evict a terminal job entirely (store dir,
+//	                            spill files, summary state)
 //	GET    /healthz             liveness + cache stats
 //	GET    /metrics             Prometheus text-format counters
 package main
@@ -45,11 +57,15 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "HTTP listen address")
-		data     = flag.String("data", "sweepd-data", "job store directory")
-		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
-		cacheSz  = flag.Int("cache", 65536, "result cache entries in memory (0 disables caching entirely)")
-		cacheDir = flag.String("cache-dir", "", `result-cache spill directory ("" = <data>/cache, "none" = memory-only)`)
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		data       = flag.String("data", "sweepd-data", "job store directory")
+		workers    = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+		cacheSz    = flag.Int("cache", 65536, "result cache entries in memory (0 disables caching entirely)")
+		cacheDir   = flag.String("cache-dir", "", `result-cache spill directory ("" = <data>/cache, "none" = memory-only)`)
+		jobTTL     = flag.Duration("job-ttl", 24*time.Hour, "GC done/failed jobs this long after they finish (0 disables GC)")
+		gcInterval = flag.Duration("gc-interval", time.Minute, "how often the GC pass runs")
+		maxJobs    = flag.Int("max-jobs", 4096, "retained-job cap; submissions beyond it get 429 (0 = unlimited)")
+		rate       = flag.Float64("rate", 0, "per-endpoint-class request limit in req/s; beyond it 429 + Retry-After (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -70,11 +86,14 @@ func main() {
 		}
 	}
 	mgr := sweepd.NewManager(store, cache, *workers)
+	mgr.SetMaxJobs(*maxJobs)
+	handler := sweepd.NewHandlerConfig(mgr, sweepd.Config{ReadRate: *rate, MutateRate: *rate})
 	if err := mgr.Resume(); err != nil {
 		log.Fatalf("resuming jobs: %v", err)
 	}
+	mgr.StartGC(*jobTTL, *gcInterval)
 
-	srv := &http.Server{Addr: *addr, Handler: sweepd.NewHandler(mgr)}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		log.Printf("ncg-server listening on %s (store %s)", *addr, *data)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -2,12 +2,37 @@ package sweepd
 
 import (
 	"fmt"
+	"net/http/httptest"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/dynamics"
 	"repro/internal/ncgio"
 )
+
+// BenchmarkHealthz measures the liveness probe with thousands of
+// retained jobs. It must stay allocation-constant per probe — the probe
+// used to pay a full List() (snapshot + copy + sort of every job),
+// O(n log n) with one Job copy per job, on every poll. Stats() walks
+// the table without copying, so the probe's ~39 allocs/op (recorder +
+// JSON encoding) are identical whether 8 or 4096 jobs are retained;
+// TestHealthzAllocsConstantPerJob asserts that invariant.
+func BenchmarkHealthz(b *testing.B) {
+	store, err := OpenStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr := NewManager(store, NewCache(16), 1)
+	defer mgr.Close()
+	registerSyntheticJobs(mgr, 4096)
+	h, _ := buildHandler(mgr, Config{})
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.healthz(httptest.NewRecorder(), req)
+	}
+}
 
 // BenchmarkCheckpointEncode measures the per-cell cost of the streaming
 // checkpoint codec — the daemon pays this once per finished cell.

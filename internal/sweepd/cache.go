@@ -146,6 +146,47 @@ func (c *Cache) put(key cacheKey, line []byte, spill bool) {
 	}
 }
 
+// RemoveKernel drops every entry for kernel from both tiers and deletes
+// the kernel's spill directory, returning the number of spill-file
+// bytes reclaimed from disk. Job GC calls this when the last retained
+// job using a kernel is evicted; determinism makes the removal safe —
+// a future job with the same kernel simply recomputes.
+func (c *Cache) RemoveKernel(kernel string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	var next *list.Element
+	for el := c.order.Front(); el != nil; el = next {
+		next = el.Next()
+		ce := el.Value.(*cacheEntry)
+		if ce.key.Kernel == kernel {
+			c.order.Remove(el)
+			delete(c.entries, ce.key)
+		}
+	}
+	dir := c.dir
+	c.mu.Unlock()
+	if dir == "" {
+		return 0
+	}
+	kdir := filepath.Join(dir, kernel)
+	entries, err := os.ReadDir(kdir)
+	if err != nil {
+		return 0
+	}
+	var reclaimed int64
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil {
+			reclaimed += info.Size()
+		}
+	}
+	if err := os.RemoveAll(kdir); err != nil {
+		return 0
+	}
+	return reclaimed
+}
+
 // Stats snapshots the cache counters.
 func (c *Cache) Stats() CacheStats {
 	if c == nil {

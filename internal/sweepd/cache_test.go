@@ -126,6 +126,53 @@ func TestDiskCacheSurvivesRestart(t *testing.T) {
 	}
 }
 
+// TestCacheRemoveKernel: job GC removes a kernel's entries from both
+// tiers and reports the spill bytes reclaimed, leaving other kernels
+// untouched.
+func TestCacheRemoveKernel(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDiskCache(16, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := dynamics.Grid([]float64{1, 2}, []int{2}, 1)
+	for _, cell := range cells {
+		c.Put("k1", cell, cacheLine(cell))
+		c.Put("k2", cell, cacheLine(cell))
+	}
+	reclaimed := c.RemoveKernel("k1")
+	if reclaimed <= 0 {
+		t.Fatalf("reclaimed = %d, want > 0", reclaimed)
+	}
+	if _, ok := c.Get("k1", cells[0]); ok {
+		t.Fatal("removed kernel still served")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "k1")); !os.IsNotExist(err) {
+		t.Fatal("spill dir survived RemoveKernel")
+	}
+	if _, ok := c.Get("k2", cells[0]); !ok {
+		t.Fatal("unrelated kernel lost")
+	}
+	if n := c.RemoveKernel("k1"); n != 0 {
+		t.Fatalf("double remove reclaimed %d bytes", n)
+	}
+
+	// Memory-only cache: entries purge, no disk bytes to reclaim; a nil
+	// cache is a no-op.
+	mc := NewCache(4)
+	mc.Put("k", cells[0], cacheLine(cells[0]))
+	if n := mc.RemoveKernel("k"); n != 0 {
+		t.Fatalf("memory-only remove reclaimed %d bytes", n)
+	}
+	if _, ok := mc.Get("k", cells[0]); ok {
+		t.Fatal("memory tier survived RemoveKernel")
+	}
+	var nilCache *Cache
+	if n := nilCache.RemoveKernel("k"); n != 0 {
+		t.Fatal("nil cache reclaimed bytes")
+	}
+}
+
 func TestDiskCacheRejectsCorruptSpill(t *testing.T) {
 	dir := t.TempDir()
 	c, err := NewDiskCache(4, dir)

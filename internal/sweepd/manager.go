@@ -2,13 +2,29 @@ package sweepd
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"os"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/dynamics"
 	"repro/internal/ncgio"
+)
+
+// Error classes the HTTP layer maps to status codes: a store failure is
+// the server's fault (500), a quota rejection is load shedding (429) —
+// neither is a bad request.
+var (
+	// ErrStore marks durable-store failures (disk full, permissions).
+	ErrStore = errors.New("sweepd: store failure")
+	// ErrJobQuota marks admissions rejected by the -max-jobs cap.
+	ErrJobQuota = errors.New("sweepd: job quota exceeded")
+	// ErrJobRunning marks an eviction attempt on a non-terminal job.
+	ErrJobRunning = errors.New("sweepd: job is running; cancel it before purging")
 )
 
 // JobStatus is the lifecycle state of a sweep job.
@@ -36,6 +52,11 @@ type Job struct {
 	Completed int       `json:"completed_cells"`
 	CacheHits int       `json:"cache_hits"`
 	Error     string    `json:"error,omitempty"`
+	// Created is when the job was first admitted; Finished is when it
+	// last reached a terminal status (zero while running). Both persist
+	// in the store's meta.json, so TTL GC survives restarts.
+	Created  time.Time `json:"created,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
 }
 
 type jobState struct {
@@ -49,12 +70,17 @@ type jobState struct {
 	// done is closed when the runner goroutine has fully exited (runJob
 	// returned and the checkpoint file is closed), gating safe restarts.
 	done chan struct{}
+	// evicting is set (under Manager.mu) while Evict deletes the job's
+	// files; it blocks restarts so no runner starts inside a directory
+	// that is being removed.
+	evicting bool
 }
 
 // restartable reports whether the job is terminal (or about to be) and
 // may be re-admitted. Caller holds Manager.mu.
 func (js *jobState) restartable() bool {
-	return js.job.Status == StatusCanceled || js.job.Status == StatusFailed || js.canceling
+	return (js.job.Status == StatusCanceled || js.job.Status == StatusFailed || js.canceling) &&
+		!js.evicting
 }
 
 // Manager owns the sweep jobs: it admits specs, runs each job's grid on a
@@ -73,15 +99,30 @@ type Manager struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+	// gcWG tracks the background GC goroutine separately from job
+	// runners, so Manager.Wait (jobs drained) keeps its meaning.
+	gcWG sync.WaitGroup
 
 	started time.Time
+	// now is the manager's clock; tests inject a fake to drive TTL GC
+	// deterministically. Set before any job is admitted.
+	now func() time.Time
 
 	mu   sync.Mutex
 	jobs map[string]*jobState
+	// maxJobs caps retained jobs (every status counts); 0 = unlimited.
+	maxJobs int
+	// evictHooks run (outside mu) after each eviction; the HTTP layer
+	// registers one to drop its per-job summary state.
+	evictHooks []func(id string)
 	// cellsAppended counts checkpoint lines written since this manager
 	// started (computed or cache-served; resume-skipped cells excluded),
 	// feeding the /metrics throughput gauges.
 	cellsAppended uint64
+	// jobsEvicted / spillBytesReclaimed count GC (and explicit purge)
+	// work since the manager started.
+	jobsEvicted         uint64
+	spillBytesReclaimed uint64
 }
 
 // NewManager wires a manager over a store and a (possibly nil) cache.
@@ -104,8 +145,28 @@ func NewManager(store *Store, cache *Cache, workers int) *Manager {
 		ctx:     ctx,
 		cancel:  cancel,
 		started: time.Now(),
+		now:     time.Now,
 		jobs:    make(map[string]*jobState),
 	}
+}
+
+// SetMaxJobs caps the number of retained jobs (0 = unlimited). Beyond
+// the cap, Submit of a new spec fails with ErrJobQuota; resubmits of
+// retained jobs and restart-time Resume are exempt. Call before serving
+// traffic.
+func (m *Manager) SetMaxJobs(n int) {
+	m.mu.Lock()
+	m.maxJobs = n
+	m.mu.Unlock()
+}
+
+// OnEvict registers fn to run after each job eviction (TTL GC or
+// explicit purge), outside the manager lock. Used by the HTTP layer to
+// release per-job serving state.
+func (m *Manager) OnEvict(fn func(id string)) {
+	m.mu.Lock()
+	m.evictHooks = append(m.evictHooks, fn)
+	m.mu.Unlock()
 }
 
 // Resume scans the store and restarts every job whose checkpoint is
@@ -121,45 +182,117 @@ func (m *Manager) Resume() error {
 	for _, id := range ids {
 		sp, err := m.store.LoadSpec(id)
 		if err == nil {
-			err = sp.Validate()
+			if verr := sp.Validate(); verr != nil {
+				err = fmt.Errorf("invalid spec %s: %w", m.store.SpecPath(id), verr)
+			}
 		}
 		if err != nil {
-			m.mu.Lock()
+			// Register a terminal placeholder whose Error names the spec
+			// bytes on disk and why they failed to parse — GET /sweeps/{id}
+			// must never report a silent zero spec — and backdate its
+			// timestamps so TTL GC reaps the husk like any failed job.
+			created := time.Time{}
+			if meta, merr := m.store.LoadMeta(id); merr == nil {
+				created = meta.Created
+			}
+			if created.IsZero() {
+				if fi, serr := os.Stat(m.store.SpecPath(id)); serr == nil {
+					created = fi.ModTime()
+				} else {
+					created = m.now()
+				}
+			}
 			done := make(chan struct{})
 			close(done)
+			m.mu.Lock()
 			m.jobs[id] = &jobState{
-				job:    Job{ID: id, Status: StatusFailed, Error: err.Error()},
+				job: Job{
+					ID:       id,
+					Status:   StatusFailed,
+					Error:    err.Error(),
+					Created:  created,
+					Finished: created,
+				},
 				cancel: func() {},
 				done:   done,
 			}
 			m.mu.Unlock()
 			continue
 		}
-		m.admit(sp)
+		m.admit(sp, false)
 	}
 	return nil
 }
 
 // Submit admits a job for the normalized, validated spec. Identical specs
 // collapse onto one job: resubmitting returns the existing job (possibly
-// already done) with created=false.
+// already done) with created=false. Errors carry their class: spec
+// problems are plain validation errors, store I/O failures wrap
+// ErrStore, and admissions beyond the -max-jobs cap wrap ErrJobQuota.
 func (m *Manager) Submit(sp Spec) (Job, bool, error) {
 	sp.Normalize()
 	if err := sp.Validate(); err != nil {
 		return Job{}, false, err
 	}
-	if _, _, err := m.store.CreateJob(sp); err != nil {
-		return Job{}, false, err
+	_, createdOnDisk, err := m.store.CreateJob(sp)
+	if err != nil {
+		return Job{}, false, fmt.Errorf("%w: %w", ErrStore, err)
 	}
-	return m.admit(sp)
+	job, created, err := m.admit(sp, true)
+	if err != nil && createdOnDisk {
+		// The quota rejected a spec we just persisted; remove the dir so
+		// the dead job does not resurrect on the next restart's Resume —
+		// unless a concurrent identical Submit won a freed slot in the
+		// meantime, in which case the dir now belongs to its running job.
+		// (Holding mu serializes with admit's registration; the residual
+		// CreateJob-vs-delete window only fails that one attempt, and
+		// retrying is safe.)
+		m.mu.Lock()
+		if _, registered := m.jobs[sp.ID()]; !registered {
+			m.store.DeleteJob(sp.ID()) //nolint:errcheck // best-effort rollback
+		}
+		m.mu.Unlock()
+	}
+	return job, created, err
 }
 
 // admit registers the job and starts its runner. A job that is running
 // or done is returned as-is; a canceled or failed job is restarted from
 // its checkpoint (after its previous runner has fully drained, so two
-// runners never share a checkpoint file).
-func (m *Manager) admit(sp Spec) (Job, bool, error) {
+// runners never share a checkpoint file). enforceQuota applies the
+// -max-jobs cap to brand-new registrations only: resubmits and
+// restart-time Resume always land.
+func (m *Manager) admit(sp Spec, enforceQuota bool) (Job, bool, error) {
 	id := sp.ID()
+	// Fast path: the common idempotent resubmit of a running or done job
+	// returns its snapshot without touching the disk at all.
+	m.mu.Lock()
+	if js, ok := m.jobs[id]; ok && !js.restartable() {
+		job := js.job
+		m.mu.Unlock()
+		return job, false, nil
+	}
+	m.mu.Unlock()
+
+	// Slow path — a runner will (re)start. Load (or initialize) the
+	// persistent lifecycle record before retaking the lock; a missing or
+	// corrupt meta falls back to "created now".
+	meta, merr := m.store.LoadMeta(id)
+	writeMeta := false
+	if merr != nil || meta.Created.IsZero() {
+		meta = JobMeta{Created: m.now()}
+		writeMeta = true
+	}
+	if !meta.Finished.IsZero() {
+		// Restarting a terminal job clears its terminal stamp; when the
+		// runner re-finishes (instantly, for an already-complete
+		// checkpoint resumed at boot) a fresh one lands. The TTL clock
+		// therefore restarts across daemon restarts — GC may delete
+		// late, never early.
+		meta.Finished = time.Time{}
+		writeMeta = true
+	}
+
 	m.mu.Lock()
 	if js, ok := m.jobs[id]; ok {
 		if !js.restartable() {
@@ -170,20 +303,28 @@ func (m *Manager) admit(sp Spec) (Job, bool, error) {
 		m.mu.Unlock()
 		<-js.done // old runner exits promptly once canceled
 		m.mu.Lock()
-		if cur := m.jobs[id]; cur != js {
+		if cur := m.jobs[id]; cur != nil && cur != js {
 			// Someone else restarted it while we waited.
 			job := cur.job
 			m.mu.Unlock()
 			return job, false, nil
 		}
+		// cur == nil means the job was evicted while we waited; fall
+		// through and re-admit it as new.
+	} else if enforceQuota && m.maxJobs > 0 && len(m.jobs) >= m.maxJobs {
+		n := len(m.jobs)
+		m.mu.Unlock()
+		return Job{}, false, fmt.Errorf("%w: %d jobs retained (max %d); purge jobs or wait for GC",
+			ErrJobQuota, n, m.maxJobs)
 	}
 	ctx, cancel := context.WithCancel(m.ctx)
 	js := &jobState{
 		job: Job{
-			ID:     id,
-			Spec:   sp,
-			Status: StatusRunning,
-			Total:  len(sp.Cells()),
+			ID:      id,
+			Spec:    sp,
+			Status:  StatusRunning,
+			Total:   len(sp.Cells()),
+			Created: meta.Created,
 		},
 		cancel: cancel,
 		done:   make(chan struct{}),
@@ -193,6 +334,9 @@ func (m *Manager) admit(sp Spec) (Job, bool, error) {
 	job := js.job
 	m.mu.Unlock()
 
+	if writeMeta {
+		m.store.WriteMeta(id, meta) //nolint:errcheck // best-effort; GC falls back to modtime
+	}
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
@@ -203,6 +347,19 @@ func (m *Manager) admit(sp Spec) (Job, bool, error) {
 	return job, created, nil
 }
 
+// finish flips the job to a terminal status, stamps Finished, and
+// persists the lifecycle record so TTL GC survives restarts.
+func (m *Manager) finish(js *jobState, status JobStatus, errMsg string) {
+	m.mu.Lock()
+	js.job.Status = status
+	js.job.Error = errMsg
+	js.job.Finished = m.now()
+	meta := JobMeta{Created: js.job.Created, Finished: js.job.Finished}
+	id := js.job.ID
+	m.mu.Unlock()
+	m.store.WriteMeta(id, meta) //nolint:errcheck // best-effort; GC falls back to Created
+}
+
 // runJob resumes the job from its checkpoint and sweeps the remaining
 // cells, appending each result (in canonical cell order) as one JSONL
 // line. Cells found in the cross-job cache are reused without
@@ -210,12 +367,7 @@ func (m *Manager) admit(sp Spec) (Job, bool, error) {
 // completed job is always the full canonical grid.
 func (m *Manager) runJob(ctx context.Context, js *jobState) {
 	id, sp := js.job.ID, js.job.Spec
-	fail := func(err error) {
-		m.mu.Lock()
-		js.job.Status = StatusFailed
-		js.job.Error = err.Error()
-		m.mu.Unlock()
-	}
+	fail := func(err error) { m.finish(js, StatusFailed, err.Error()) }
 
 	kernel := sp.KernelHash()
 	prior, err := m.store.LoadResults(id)
@@ -296,13 +448,9 @@ func (m *Manager) runJob(ctx context.Context, js *jobState) {
 	}
 	switch {
 	case err == nil:
-		m.mu.Lock()
-		js.job.Status = StatusDone
-		m.mu.Unlock()
+		m.finish(js, StatusDone, "")
 	case ctx.Err() != nil:
-		m.mu.Lock()
-		js.job.Status = StatusCanceled
-		m.mu.Unlock()
+		m.finish(js, StatusCanceled, "")
 	default:
 		fail(err)
 	}
@@ -352,6 +500,141 @@ func (m *Manager) Cancel(id string) (Job, bool) {
 	return job, true
 }
 
+// Evict removes a terminal job entirely: its store directory (spec,
+// meta, checkpoint), its kernel's cache spill files when no other
+// retained job shares the kernel, and its registration — after which
+// GET /sweeps/{id} is a 404 and resubmitting the spec recomputes from
+// scratch. It reports ok=false for an unknown job and ErrJobRunning for
+// a job that is still running (cancel first) or mid-purge (retry). A
+// resubmit racing an eviction gets the stale terminal snapshot back —
+// never a runner inside a directory being deleted.
+func (m *Manager) Evict(id string) (Job, bool, error) {
+	for {
+		m.mu.Lock()
+		js, ok := m.jobs[id]
+		if !ok {
+			m.mu.Unlock()
+			return Job{}, false, nil
+		}
+		if js.job.Status == StatusRunning || js.evicting {
+			job := js.job
+			m.mu.Unlock()
+			return job, true, ErrJobRunning
+		}
+		m.mu.Unlock()
+		// Wait for the runner to fully drain (checkpoint file closed)
+		// before deleting its files; for long-terminal jobs done is
+		// already closed.
+		<-js.done
+		m.mu.Lock()
+		if m.jobs[id] != js || js.job.Status == StatusRunning {
+			// Restarted or replaced while we waited; re-evaluate the
+			// fresh state rather than guessing at it.
+			m.mu.Unlock()
+			continue
+		}
+		// Mark mid-eviction before releasing the lock: restartable() is
+		// now false, so a concurrent resubmit returns the stale snapshot
+		// instead of restarting a runner inside a directory being
+		// deleted.
+		js.evicting = true
+		job := js.job
+		// Reap the kernel's spill tier only when no other retained job
+		// uses it (spec N==0 marks a zero-spec placeholder, no kernel).
+		kernel := ""
+		if job.Spec.N != 0 {
+			kernel = job.Spec.KernelHash()
+			for _, other := range m.jobs {
+				if other != js && other.job.Spec.N != 0 && other.job.Spec.KernelHash() == kernel {
+					kernel = ""
+					break
+				}
+			}
+		}
+		m.mu.Unlock()
+
+		var reclaimed int64
+		if kernel != "" {
+			reclaimed = m.cache.RemoveKernel(kernel)
+		}
+		if err := m.store.DeleteJob(id); err != nil {
+			// Deregistering only after the files are gone keeps a failed
+			// purge retryable: the API must not report a sweep vanished
+			// while its directory survives to resurrect at next restart.
+			m.mu.Lock()
+			js.evicting = false
+			m.mu.Unlock()
+			return job, true, err
+		}
+
+		m.mu.Lock()
+		delete(m.jobs, id)
+		m.jobsEvicted++
+		m.spillBytesReclaimed += uint64(reclaimed)
+		hooks := slices.Clone(m.evictHooks)
+		m.mu.Unlock()
+		for _, fn := range hooks {
+			fn(id)
+		}
+		return job, true, nil
+	}
+}
+
+// StartGC launches the background TTL collector: every interval it
+// sweeps orphan job dirs and evicts done/failed jobs whose terminal
+// timestamp is at least ttl old. Canceled jobs keep their checkpoints
+// (they are resumable), and running jobs are never touched. ttl <= 0
+// disables GC entirely. Close stops the loop.
+func (m *Manager) StartGC(ttl, interval time.Duration) {
+	if ttl <= 0 {
+		return
+	}
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	m.gcWG.Add(1)
+	go func() {
+		defer m.gcWG.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-m.ctx.Done():
+				return
+			case <-ticker.C:
+				m.gcOnce(ttl)
+			}
+		}
+	}()
+}
+
+// gcOnce runs one GC pass: sweep half-created orphan dirs older than
+// ttl, then evict every done/failed job whose terminal timestamp (or,
+// lacking one, its creation time) is at least ttl old.
+func (m *Manager) gcOnce(ttl time.Duration) {
+	cutoff := m.now().Add(-ttl)
+	m.store.SweepOrphans(cutoff) //nolint:errcheck // best-effort
+	m.mu.Lock()
+	var victims []string
+	for id, js := range m.jobs {
+		if js.job.Status != StatusDone && js.job.Status != StatusFailed {
+			continue
+		}
+		fin := js.job.Finished
+		if fin.IsZero() {
+			fin = js.job.Created
+		}
+		if fin.IsZero() || fin.After(cutoff) {
+			continue
+		}
+		victims = append(victims, id)
+	}
+	m.mu.Unlock()
+	for _, id := range victims {
+		m.Evict(id) //nolint:errcheck // a job revived mid-pass just survives
+	}
+}
+
 // CacheStats exposes the shared cache counters (zero value if no cache).
 func (m *Manager) CacheStats() CacheStats { return m.cache.Stats() }
 
@@ -365,9 +648,22 @@ type ManagerStats struct {
 	// Jobs counts jobs per lifecycle status (every status has an entry,
 	// possibly 0, so metric series never appear and disappear).
 	Jobs map[JobStatus]int
+	// JobsEvicted / SpillBytesReclaimed count TTL-GC and explicit-purge
+	// work since the manager started.
+	JobsEvicted         uint64
+	SpillBytesReclaimed uint64
+	// QueueDepth is the number of running jobs contending for the shared
+	// worker gate; BusyWorkers is how many of the pool's tokens are
+	// checked out right now.
+	QueueDepth  int
+	BusyWorkers int
+	// MaxJobs echoes the retention cap (0 = unlimited).
+	MaxJobs int
 }
 
-// Stats snapshots the manager's throughput counters.
+// Stats snapshots the manager's throughput and lifecycle counters. The
+// walk over jobs is O(n) time but allocation-free per job, so liveness
+// probes stay cheap no matter how many jobs are retained.
 func (m *Manager) Stats() ManagerStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -376,17 +672,24 @@ func (m *Manager) Stats() ManagerStats {
 		jobs[js.job.Status]++
 	}
 	return ManagerStats{
-		CellsAppended: m.cellsAppended,
-		Uptime:        time.Since(m.started),
-		Jobs:          jobs,
+		CellsAppended:       m.cellsAppended,
+		Uptime:              time.Since(m.started),
+		Jobs:                jobs,
+		JobsEvicted:         m.jobsEvicted,
+		SpillBytesReclaimed: m.spillBytesReclaimed,
+		QueueDepth:          jobs[StatusRunning],
+		BusyWorkers:         m.workers - len(m.gate),
+		MaxJobs:             m.maxJobs,
 	}
 }
 
-// Close cancels all jobs and waits for their runners to drain. Checkpoints
-// stay on disk; a new manager over the same store resumes them.
+// Close cancels all jobs and waits for their runners (and the GC loop)
+// to drain. Checkpoints stay on disk; a new manager over the same store
+// resumes them.
 func (m *Manager) Close() {
 	m.cancel()
 	m.wg.Wait()
+	m.gcWG.Wait()
 }
 
 // Wait blocks until every currently admitted job's runner has returned

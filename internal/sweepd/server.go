@@ -2,12 +2,15 @@ package sweepd
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dynamics"
@@ -15,20 +18,112 @@ import (
 	"repro/internal/stats"
 )
 
+// Config tunes the HTTP layer. The zero value serves with production
+// defaults: 150ms follow-mode polling, 15s heartbeats, no rate limits.
+type Config struct {
+	// PollInterval is how often follow mode re-checks a running job's
+	// checkpoint for growth; HeartbeatInterval is how long a follow
+	// stream may stay silent before a blank keep-alive line goes out.
+	PollInterval      time.Duration
+	HeartbeatInterval time.Duration
+	// ReadRate and MutateRate are per-endpoint-class token-bucket limits
+	// in requests/second (burst = one second's worth, minimum 1). Read
+	// covers the GET /sweeps endpoints; Mutate covers POST /sweeps and
+	// DELETE /sweeps/{id}. Separate buckets mean heavy readers cannot
+	// starve submissions. /healthz and /metrics are exempt so liveness
+	// probes and scrapers never see 429. <= 0 disables that class's
+	// limit.
+	ReadRate   float64
+	MutateRate float64
+	// now is the rate limiter's clock; tests inject a fake.
+	now func() time.Time
+}
+
 // handler carries the serving knobs alongside the manager; tests shrink
 // the intervals to drive follow mode fast.
 type handler struct {
-	m *Manager
-	// pollInterval is how often follow mode re-checks a running job's
-	// checkpoint for growth; heartbeatInterval is how long a follow
-	// stream may stay silent before a blank keep-alive line goes out
-	// (NDJSON consumers skip blank lines; proxies see traffic and keep
-	// the connection open).
+	m                 *Manager
 	pollInterval      time.Duration
 	heartbeatInterval time.Duration
 
+	readBucket   *tokenBucket
+	mutateBucket *tokenBucket
+	// throttled counts 429s issued by the rate limiter; quotaRejections
+	// counts submissions refused by the -max-jobs cap.
+	throttled       atomic.Uint64
+	quotaRejections atomic.Uint64
+
 	mu        sync.Mutex
 	summaries map[string]*summaryState
+}
+
+// tokenBucket is a minimal clock-injectable token bucket: rate tokens
+// per second, burst capacity, one token per request. A nil bucket is
+// unlimited.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate float64, now func() time.Time) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	burst := math.Max(rate, 1)
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, now: now}
+}
+
+// allow takes one token if available; otherwise it reports how long
+// until the next token accrues (the Retry-After hint).
+func (tb *tokenBucket) allow() (bool, time.Duration) {
+	if tb == nil {
+		return true, 0
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := tb.now()
+	if !tb.last.IsZero() {
+		tb.tokens = math.Min(tb.burst, tb.tokens+now.Sub(tb.last).Seconds()*tb.rate)
+	}
+	tb.last = now
+	if tb.tokens >= 1 {
+		tb.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - tb.tokens) / tb.rate * float64(time.Second))
+}
+
+// rateLimit classifies each request into an endpoint-class bucket and
+// sheds load with 429 + Retry-After when the bucket is dry. /healthz
+// and /metrics bypass the limiter entirely.
+func (h *handler) rateLimit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		bucket, class := h.readBucket, "read"
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			bucket, class = h.mutateBucket, "mutate"
+		}
+		ok, wait := bucket.allow()
+		if !ok {
+			secs := int(math.Ceil(wait.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			h.throttled.Add(1)
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("rate limit exceeded for %s requests; retry in %ds", class, secs))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // NewHandler builds the sweepd HTTP JSON API over a manager:
@@ -40,20 +135,53 @@ type handler struct {
 //	                            ?follow=1 tails a running job to its terminal
 //	                            status (sent as the X-Sweep-Status trailer)
 //	GET    /sweeps/{id}/summary per-(α,k) stats.Summarize roll-ups, server-side
-//	DELETE /sweeps/{id}         cancel a running job (409 if already terminal)
+//	DELETE /sweeps/{id}         cancel a running job (409 if already terminal);
+//	                            ?purge=1 evicts a terminal job entirely (store
+//	                            dir, spill files, summary state)
 //	GET    /healthz             liveness + job/cache counters
 //	GET    /metrics             Prometheus text-format counters
 func NewHandler(m *Manager) http.Handler {
-	return newHandler(m, 150*time.Millisecond, 15*time.Second)
+	return NewHandlerConfig(m, Config{})
+}
+
+// NewHandlerConfig builds the API with explicit serving knobs (rate
+// limits, follow-mode intervals); see Config.
+func NewHandlerConfig(m *Manager, cfg Config) http.Handler {
+	_, mux := buildHandler(m, cfg)
+	return mux
 }
 
 func newHandler(m *Manager, poll, heartbeat time.Duration) http.Handler {
+	return NewHandlerConfig(m, Config{PollInterval: poll, HeartbeatInterval: heartbeat})
+}
+
+// buildHandler wires the handler, its routes, and the rate-limiting
+// middleware; tests use the *handler to reach internal state.
+func buildHandler(m *Manager, cfg Config) (*handler, http.Handler) {
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 150 * time.Millisecond
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 15 * time.Second
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
 	h := &handler{
 		m:                 m,
-		pollInterval:      poll,
-		heartbeatInterval: heartbeat,
+		pollInterval:      cfg.PollInterval,
+		heartbeatInterval: cfg.HeartbeatInterval,
+		readBucket:        newTokenBucket(cfg.ReadRate, cfg.now),
+		mutateBucket:      newTokenBucket(cfg.MutateRate, cfg.now),
 		summaries:         make(map[string]*summaryState),
 	}
+	// Job GC must release the per-job summary state too, or the daemon
+	// leaks one summaryState per job forever.
+	m.OnEvict(func(id string) {
+		h.mu.Lock()
+		delete(h.summaries, id)
+		h.mu.Unlock()
+	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /metrics", h.metrics)
@@ -63,14 +191,23 @@ func newHandler(m *Manager, poll, heartbeat time.Duration) http.Handler {
 	mux.HandleFunc("GET /sweeps/{id}/results", h.results)
 	mux.HandleFunc("GET /sweeps/{id}/summary", h.summary)
 	mux.HandleFunc("DELETE /sweeps/{id}", h.cancel)
-	return mux
+	return h, h.rateLimit(mux)
 }
 
 func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	// Stats walks the job table without copying or sorting it — a
+	// liveness probe must not pay O(n log n) per poll over thousands of
+	// retained jobs the way List() does.
+	ms := h.m.Stats()
+	total := 0
+	for _, n := range ms.Jobs {
+		total += n
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"jobs":   len(h.m.List()),
-		"cache":  h.m.CacheStats(),
+		"status":         "ok",
+		"jobs":           total,
+		"jobs_by_status": ms.Jobs,
+		"cache":          h.m.CacheStats(),
 	})
 }
 
@@ -82,8 +219,24 @@ func (h *handler) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad spec JSON: "+err.Error())
 		return
 	}
+	// Exactly one JSON value: a body like {"n":10}{"garbage":true} must
+	// not be silently accepted on the strength of its first value.
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "trailing data after spec JSON")
+		return
+	}
 	job, created, err := h.m.Submit(sp)
-	if err != nil {
+	switch {
+	case errors.Is(err, ErrJobQuota):
+		h.quotaRejections.Add(1)
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrStore):
+		// The store failing to persist a valid spec is the server's disk,
+		// not the client's request.
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	case err != nil:
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -453,10 +606,41 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	for _, st := range []JobStatus{StatusRunning, StatusDone, StatusCanceled, StatusFailed} {
 		fmt.Fprintf(w, "sweepd_jobs{status=%q} %d\n", st, ms.Jobs[st])
 	}
+	fmt.Fprintf(w, "# HELP sweepd_jobs_evicted_total Jobs removed by TTL GC or explicit purge.\n")
+	fmt.Fprintf(w, "# TYPE sweepd_jobs_evicted_total counter\n")
+	fmt.Fprintf(w, "sweepd_jobs_evicted_total %d\n", ms.JobsEvicted)
+	fmt.Fprintf(w, "# HELP sweepd_spill_bytes_reclaimed_total Cache spill-file bytes deleted by job eviction.\n")
+	fmt.Fprintf(w, "# TYPE sweepd_spill_bytes_reclaimed_total counter\n")
+	fmt.Fprintf(w, "sweepd_spill_bytes_reclaimed_total %d\n", ms.SpillBytesReclaimed)
+	fmt.Fprintf(w, "# HELP sweepd_queue_depth Running jobs contending for the shared worker gate.\n")
+	fmt.Fprintf(w, "# TYPE sweepd_queue_depth gauge\n")
+	fmt.Fprintf(w, "sweepd_queue_depth %d\n", ms.QueueDepth)
+	fmt.Fprintf(w, "# HELP sweepd_busy_workers Worker-pool tokens currently checked out.\n")
+	fmt.Fprintf(w, "# TYPE sweepd_busy_workers gauge\n")
+	fmt.Fprintf(w, "sweepd_busy_workers %d\n", ms.BusyWorkers)
+	fmt.Fprintf(w, "# HELP sweepd_throttled_requests_total Requests shed with 429 by the rate limiter.\n")
+	fmt.Fprintf(w, "# TYPE sweepd_throttled_requests_total counter\n")
+	fmt.Fprintf(w, "sweepd_throttled_requests_total %d\n", h.throttled.Load())
+	fmt.Fprintf(w, "# HELP sweepd_quota_rejections_total Submissions refused by the -max-jobs cap.\n")
+	fmt.Fprintf(w, "# TYPE sweepd_quota_rejections_total counter\n")
+	fmt.Fprintf(w, "sweepd_quota_rejections_total %d\n", h.quotaRejections.Load())
 }
 
 func (h *handler) cancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if v := r.URL.Query().Get("purge"); v != "" {
+		purge, err := strconv.ParseBool(v)
+		if err != nil {
+			// Falling through to cancel here would halt a running sweep
+			// the client only meant to purge.
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad purge value %q", v))
+			return
+		}
+		if purge {
+			h.purge(w, id)
+			return
+		}
+	}
 	job, ok := h.m.Cancel(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no such sweep")
@@ -473,6 +657,26 @@ func (h *handler) cancel(w http.ResponseWriter, r *http.Request) {
 	}
 	fresh, _ := h.m.Get(id)
 	writeJSON(w, http.StatusOK, fresh)
+}
+
+// purge handles DELETE /sweeps/{id}?purge=1: evict a terminal job
+// entirely — store directory, spill files, summary state — instead of
+// the default cancel-keeping-the-checkpoint semantics.
+func (h *handler) purge(w http.ResponseWriter, id string) {
+	job, ok, err := h.m.Evict(id)
+	switch {
+	case !ok:
+		writeError(w, http.StatusNotFound, "no such sweep")
+	case errors.Is(err, ErrJobRunning):
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": "sweep is running (cancel it before purging) or mid-purge (retry)",
+			"sweep": job,
+		})
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"purged": true, "sweep": job})
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

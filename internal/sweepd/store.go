@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"sort"
+	"time"
 
 	"repro/internal/dynamics"
 	"repro/internal/ncgio"
@@ -22,12 +23,15 @@ type Store struct {
 
 var jobIDPattern = regexp.MustCompile(`^[0-9a-f]{16}$`)
 
-// OpenStore opens (creating if needed) a store rooted at dir.
+// OpenStore opens (creating if needed) a store rooted at dir. Orphan
+// job dirs left behind by a crash mid-CreateJob are swept on open.
 func OpenStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sweepd: %w", err)
 	}
-	return &Store{root: dir}, nil
+	st := &Store{root: dir}
+	st.SweepOrphans(time.Now()) //nolint:errcheck // best-effort cleanup
+	return st, nil
 }
 
 // Root returns the store directory.
@@ -35,6 +39,11 @@ func (st *Store) Root() string { return st.root }
 
 func (st *Store) jobDir(id string) string   { return filepath.Join(st.root, id) }
 func (st *Store) specPath(id string) string { return filepath.Join(st.jobDir(id), "spec.json") }
+func (st *Store) metaPath(id string) string { return filepath.Join(st.jobDir(id), "meta.json") }
+
+// SpecPath returns the job's on-disk spec path (error messages point
+// clients and operators at the exact bytes that failed to parse).
+func (st *Store) SpecPath(id string) string { return st.specPath(id) }
 
 // ResultsPath returns the job's checkpoint file path.
 func (st *Store) ResultsPath(id string) string {
@@ -76,10 +85,93 @@ func (st *Store) LoadSpec(id string) (Spec, error) {
 	}
 	var sp Spec
 	if err := json.Unmarshal(data, &sp); err != nil {
-		return Spec{}, fmt.Errorf("sweepd: job %s: %w", id, err)
+		return Spec{}, fmt.Errorf("sweepd: job %s: invalid spec %s: %w", id, st.specPath(id), err)
 	}
 	sp.Normalize()
 	return sp, nil
+}
+
+// JobMeta is the small lifecycle record persisted as meta.json next to
+// spec.json: when the job was first admitted and when it last reached a
+// terminal status (zero while running). The GC loop decides reaping
+// from these timestamps, so they survive daemon restarts.
+type JobMeta struct {
+	Created  time.Time `json:"created"`
+	Finished time.Time `json:"finished,omitzero"`
+}
+
+// WriteMeta persists the job's lifecycle record atomically (temp file +
+// rename), same contract as the spec itself.
+func (st *Store) WriteMeta(id string, meta JobMeta) error {
+	data, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sweepd: %w", err)
+	}
+	tmp := st.metaPath(id) + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("sweepd: %w", err)
+	}
+	if err := os.Rename(tmp, st.metaPath(id)); err != nil {
+		return fmt.Errorf("sweepd: %w", err)
+	}
+	return nil
+}
+
+// LoadMeta reads a job's lifecycle record. A missing or corrupt
+// meta.json is an error; callers fall back to filesystem timestamps.
+func (st *Store) LoadMeta(id string) (JobMeta, error) {
+	data, err := os.ReadFile(st.metaPath(id))
+	if err != nil {
+		return JobMeta{}, fmt.Errorf("sweepd: %w", err)
+	}
+	var meta JobMeta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return JobMeta{}, fmt.Errorf("sweepd: job %s: %w", id, err)
+	}
+	return meta, nil
+}
+
+// DeleteJob removes a job's directory entirely — spec, meta, and
+// checkpoint. Callers (Manager.Evict) are responsible for making sure
+// no runner still holds the checkpoint open.
+func (st *Store) DeleteJob(id string) error {
+	if err := os.RemoveAll(st.jobDir(id)); err != nil {
+		return fmt.Errorf("sweepd: %w", err)
+	}
+	return nil
+}
+
+// SweepOrphans removes half-created job artifacts: directories that
+// look like job dirs but hold no committed spec.json (a crash between
+// CreateJob's MkdirAll and the spec rename leaves the dir, and possibly
+// a spec.json.tmp, behind — Jobs() skips them but nothing else ever
+// deleted them). Only dirs whose modtime is before cutoff are touched,
+// so a CreateJob racing the sweep keeps its in-flight directory.
+func (st *Store) SweepOrphans(cutoff time.Time) (removed int, err error) {
+	entries, rerr := os.ReadDir(st.root)
+	if rerr != nil {
+		return 0, fmt.Errorf("sweepd: %w", rerr)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !jobIDPattern.MatchString(e.Name()) {
+			continue
+		}
+		if _, serr := os.Stat(st.specPath(e.Name())); serr == nil {
+			continue // committed job
+		}
+		info, ierr := e.Info()
+		if ierr != nil || !info.ModTime().Before(cutoff) {
+			continue
+		}
+		if derr := os.RemoveAll(st.jobDir(e.Name())); derr != nil {
+			if err == nil {
+				err = fmt.Errorf("sweepd: %w", derr)
+			}
+			continue
+		}
+		removed++
+	}
+	return removed, err
 }
 
 // Jobs lists the IDs of all persisted jobs, sorted.
