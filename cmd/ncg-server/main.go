@@ -6,6 +6,17 @@
 //
 //	ncg-server -addr :8080 -data ./sweepd-data [-workers 0] [-cache 65536] [-cache-dir DIR]
 //	           [-job-ttl 24h] [-gc-interval 1m] [-max-jobs 4096] [-rate 0]
+//	           [-peers URL,URL,...] [-peer-lease 64] [-peer-ttl 45s] [-peer-rate 0]
+//
+// Clustering: every daemon serves POST /peer/leases, computing contiguous
+// cell ranges for remote leaders on its own worker pool (lease work draws
+// from the same -workers gate as local jobs). A daemon started with
+// -peers additionally shards its own sweeps across those peers in
+// -peer-lease-sized ranges; a peer that goes silent for -peer-ttl has its
+// lease reclaimed and recomputed locally. Deterministic per-cell seeding
+// keeps results byte-identical with 0, 1, or N peers and across peer
+// loss. -peer-rate rate-limits the /peer/* class separately from
+// interactive traffic.
 //
 // The daemon bounds its own growth: done/failed jobs are garbage-
 // collected -job-ttl after they finish (directory, cache spill files,
@@ -33,9 +44,14 @@
 //	                            running job to completion (terminal status
 //	                            arrives as the X-Sweep-Status trailer)
 //	GET    /sweeps/{id}/summary per-(α,k) mean ± 95% CI roll-ups, server-side
+//	GET    /sweeps/{id}/trajectories
+//	                            per-round trajectory sidecar as NDJSON (only
+//	                            for specs with "trajectories": true)
 //	DELETE /sweeps/{id}         cancel (checkpoint kept; 409 if already terminal)
 //	DELETE /sweeps/{id}?purge=1 evict a terminal job entirely (store dir,
 //	                            spill files, summary state)
+//	POST   /peer/leases         compute a cell range for a peer daemon
+//	                            (the follower half of -peers sharding)
 //	GET    /healthz             liveness + cache stats
 //	GET    /metrics             Prometheus text-format counters
 package main
@@ -49,11 +65,26 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/sweepd"
+	"repro/internal/sweepd/shard"
 )
+
+// splitPeers parses the -peers flag, dropping empty segments and
+// trailing slashes so "http://a:1,,http://b:2/" works as expected.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSuffix(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -66,6 +97,10 @@ func main() {
 		gcInterval = flag.Duration("gc-interval", time.Minute, "how often the GC pass runs")
 		maxJobs    = flag.Int("max-jobs", 4096, "retained-job cap; submissions beyond it get 429 (0 = unlimited)")
 		rate       = flag.Float64("rate", 0, "per-endpoint-class request limit in req/s; beyond it 429 + Retry-After (0 = unlimited)")
+		peers      = flag.String("peers", "", "comma-separated peer daemon base URLs to shard sweeps across (e.g. http://10.0.0.2:8080)")
+		peerLease  = flag.Int("peer-lease", 64, "cells per peer lease (smaller = finer balancing, larger = less HTTP overhead)")
+		peerTTL    = flag.Duration("peer-ttl", 45*time.Second, "reclaim a lease whose stream goes silent for this long")
+		peerRate   = flag.Float64("peer-rate", 0, "request limit for the /peer/* endpoint class in req/s (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -87,7 +122,14 @@ func main() {
 	}
 	mgr := sweepd.NewManager(store, cache, *workers)
 	mgr.SetMaxJobs(*maxJobs)
-	handler := sweepd.NewHandlerConfig(mgr, sweepd.Config{ReadRate: *rate, MutateRate: *rate})
+	cfg := sweepd.Config{ReadRate: *rate, MutateRate: *rate, PeerRate: *peerRate}
+	if urls := splitPeers(*peers); len(urls) > 0 {
+		pool := shard.New(urls, shard.Options{LeaseCells: *peerLease, LeaseTTL: *peerTTL})
+		mgr.SetExecutorProvider(pool)
+		cfg.PeerStats = pool.Stats
+		log.Printf("sharding sweeps across %d peer(s): %s", len(urls), strings.Join(urls, ", "))
+	}
+	handler := sweepd.NewHandlerConfig(mgr, cfg)
 	if err := mgr.Resume(); err != nil {
 		log.Fatalf("resuming jobs: %v", err)
 	}

@@ -2,9 +2,8 @@ package dynamics
 
 import (
 	"context"
-	"math/rand"
-	"runtime"
-	"sync"
+	"fmt"
+	"time"
 )
 
 // SweepOptions tunes SweepContext beyond the plain Sweep defaults. The
@@ -40,24 +39,37 @@ type SweepOptions struct {
 	// process-wide bucket cap CPU-bound concurrency across many
 	// concurrent sweeps (the sweepd daemon's global worker cap).
 	Gate chan struct{}
+	// Executor is the compute backend; nil means LocalExecutor (the
+	// in-process pool). Per-cell seeding makes results identical for any
+	// backend, so swapping executors only changes where cells run — the
+	// sweepd daemon plugs in a peer-sharding executor here.
+	Executor Executor
+	// Observe, when non-nil, receives the wall time of every locally
+	// computed cell (reused and remote cells excluded). It may be called
+	// concurrently from worker goroutines.
+	Observe func(i int, d time.Duration)
 }
 
-// SweepContext is Sweep with cancellation, resume, and streaming. It runs
-// one dynamics per cell on a fixed worker pool and returns results indexed
-// like cells. Each cell derives a private RNG from baseSeed and its own
-// coordinates, so results are bit-identical regardless of worker count,
-// scheduling, or resume point — the hpc-parallel "determinism independent
-// of schedule" rule, extended to "independent of interruption".
+// SweepContext is Sweep with cancellation, resume, and streaming. It
+// resolves reusable cells via Have, hands the remainder to the configured
+// Executor (an in-process pool by default), and sequences results back
+// into canonical cell order. Each cell derives a private RNG from baseSeed
+// and its own coordinates, so results are bit-identical regardless of
+// worker count, scheduling, resume point, or which backend computed each
+// cell — the hpc-parallel "determinism independent of schedule" rule,
+// extended to "independent of interruption and placement".
 //
 // On cancellation it returns the partial results computed so far together
 // with ctx.Err(); entries never reached hold the CellResult zero value
 // (nil Result.Final). An OnResult error likewise aborts the sweep and is
-// returned.
+// returned. An executor that closes its channel without delivering every
+// todo cell (and without a context error) is reported as an error rather
+// than silently shorting the grid.
 func SweepContext(ctx context.Context, cells []Cell, base Config, factory Factory, baseSeed int64, opt SweepOptions) ([]CellResult, error) {
 	out := make([]CellResult, len(cells))
 	reused := make([]bool, len(cells))
 
-	// Resolve reusable cells up front so workers only see real work.
+	// Resolve reusable cells up front so the executor only sees real work.
 	todo := make([]int, 0, len(cells))
 	for i, c := range cells {
 		if opt.Have != nil {
@@ -70,75 +82,27 @@ func SweepContext(ctx context.Context, cells []Cell, base Config, factory Factor
 		todo = append(todo, i)
 	}
 
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(todo) {
-		workers = len(todo)
-	}
-	if workers < 1 {
-		workers = 1
+	exec := opt.Executor
+	if exec == nil {
+		exec = LocalExecutor{}
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-
-	next := make(chan int)    // index into cells
-	finished := make(chan int, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if opt.Gate != nil {
-					select {
-					case <-opt.Gate:
-					case <-ctx.Done():
-						return
-					}
-				}
-				cell := cells[i]
-				rng := rand.New(rand.NewSource(cellSeed(baseSeed, cell)))
-				s := factory(cell, rng)
-				cfg := base
-				cfg.Alpha = cell.Alpha
-				cfg.K = cell.K
-				res, err := RunContext(ctx, s, cfg)
-				if opt.Gate != nil {
-					opt.Gate <- struct{}{}
-				}
-				if err != nil {
-					return // canceled mid-run: discard the partial result
-				}
-				out[i] = CellResult{Cell: cell, Result: res}
-				select {
-				case finished <- i:
-				case <-ctx.Done():
-					return
-				}
-			}
-		}()
-	}
-	go func() {
-		defer close(next)
-		for _, i := range todo {
-			select {
-			case next <- i:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-	go func() {
-		wg.Wait()
-		close(finished)
-	}()
+	results := exec.Execute(ctx, ExecRequest{
+		Cells:    cells,
+		Todo:     todo,
+		Base:     base,
+		Factory:  factory,
+		BaseSeed: baseSeed,
+		Workers:  opt.Workers,
+		Gate:     opt.Gate,
+		Observe:  opt.Observe,
+	})
 
 	// Sequencer: emit results in canonical order. Reused cells are ready
-	// immediately; computed cells become ready as workers finish.
-	ready := make(map[int]bool, workers)
+	// immediately; computed cells become ready as the executor delivers.
+	ready := make(map[int]bool)
 	nextEmit := 0
 	var emitErr error
 	emit := func() {
@@ -160,8 +124,14 @@ func SweepContext(ctx context.Context, cells []Cell, base Config, factory Factor
 		}
 	}
 	emit()
-	for i := range finished {
-		ready[i] = true
+	delivered := 0
+	for ir := range results {
+		if ir.Index < 0 || ir.Index >= len(cells) {
+			continue // defensive: a buggy executor must not panic the sweep
+		}
+		out[ir.Index] = CellResult{Cell: cells[ir.Index], Result: ir.Result}
+		ready[ir.Index] = true
+		delivered++
 		emit()
 	}
 	if emitErr != nil {
@@ -169,6 +139,9 @@ func SweepContext(ctx context.Context, cells []Cell, base Config, factory Factor
 	}
 	if err := ctx.Err(); err != nil {
 		return out, err
+	}
+	if delivered < len(todo) {
+		return out, fmt.Errorf("dynamics: executor delivered %d of %d cells", delivered, len(todo))
 	}
 	return out, nil
 }

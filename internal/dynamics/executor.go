@@ -1,0 +1,132 @@
+package dynamics
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// ExecRequest describes one batch of cell computations handed to an
+// Executor: the full canonical grid plus the indices still to compute
+// (cells satisfied by SweepOptions.Have never reach an executor). The
+// executor contract is placement-agnostic — per-cell seeding derives each
+// cell's RNG from BaseSeed and the cell coordinates alone, so any backend
+// (a local pool, a remote peer, a mix) produces identical Results for the
+// same request.
+type ExecRequest struct {
+	// Cells is the full canonical grid; Todo indexes into it.
+	Cells []Cell
+	// Todo lists the indices the executor must compute, in ascending
+	// order. Results may be delivered in any order.
+	Todo []int
+	// Base, Factory, and BaseSeed parameterize each cell's run exactly as
+	// in SweepContext: Alpha and K are overridden per cell.
+	Base     Config
+	Factory  Factory
+	BaseSeed int64
+	// Workers bounds local compute concurrency (0 = GOMAXPROCS); Gate,
+	// when non-nil, is the shared token bucket capping CPU-bound work
+	// across concurrent sweeps (see SweepOptions.Gate).
+	Workers int
+	Gate    chan struct{}
+	// Observe, when non-nil, receives the wall-clock duration of every
+	// cell computed locally (remote or reused cells are not observed).
+	// It may be called concurrently from multiple workers.
+	Observe func(i int, d time.Duration)
+}
+
+// IndexedResult pairs one computed cell's Result with its canonical index
+// into ExecRequest.Cells.
+type IndexedResult struct {
+	Index  int
+	Result Result
+}
+
+// Executor is a pluggable compute backend for sweeps. Execute returns a
+// channel carrying one IndexedResult per req.Todo entry, in any order;
+// the channel is closed when all work is delivered or ctx is canceled
+// (in which case undelivered cells are simply absent — the sequencing
+// layer in SweepContext detects the shortfall). Implementations must not
+// deliver an index outside req.Todo.
+type Executor interface {
+	Execute(ctx context.Context, req ExecRequest) <-chan IndexedResult
+}
+
+// LocalExecutor runs cells on an in-process worker pool — the backend
+// SweepContext used before executors were pluggable, with identical
+// semantics: a fixed pool draws cell indices from a feeder channel, each
+// worker takes a Gate token (when configured) around its dynamics run,
+// and a cell interrupted by cancellation is discarded rather than
+// delivered partially.
+type LocalExecutor struct{}
+
+// Execute implements Executor on an in-process pool.
+func (LocalExecutor) Execute(ctx context.Context, req ExecRequest) <-chan IndexedResult {
+	workers := req.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(req.Todo) {
+		workers = len(req.Todo)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	out := make(chan IndexedResult, workers)
+	next := make(chan int) // index into req.Cells
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if req.Gate != nil {
+					select {
+					case <-req.Gate:
+					case <-ctx.Done():
+						return
+					}
+				}
+				cell := req.Cells[i]
+				rng := rand.New(rand.NewSource(cellSeed(req.BaseSeed, cell)))
+				s := req.Factory(cell, rng)
+				cfg := req.Base
+				cfg.Alpha = cell.Alpha
+				cfg.K = cell.K
+				start := time.Now()
+				res, err := RunContext(ctx, s, cfg)
+				if req.Gate != nil {
+					req.Gate <- struct{}{}
+				}
+				if err != nil {
+					return // canceled mid-run: discard the partial result
+				}
+				if req.Observe != nil {
+					req.Observe(i, time.Since(start))
+				}
+				select {
+				case out <- IndexedResult{Index: i, Result: res}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(next)
+		for _, i := range req.Todo {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}

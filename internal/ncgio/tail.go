@@ -38,6 +38,38 @@ func LastCompleteOffset(r io.ReaderAt, size int64) (int64, error) {
 	return 0, nil
 }
 
+// RepairTail truncates path to its whole-line prefix, discarding a final
+// partial line left by a crashed whole-line writer. Unlike
+// ReadCheckpoint it never parses record contents — it is the framing
+// repair for sidecar files (trajectory.jsonl) whose owner is about to
+// resume appending; without it a torn tail would merge with the next
+// appended line into one unparseable record. A missing file is a no-op.
+// Only the file's owner may call this (truncation races a live writer).
+func RepairTail(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("ncgio: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("ncgio: %w", err)
+	}
+	clean, err := LastCompleteOffset(f, fi.Size())
+	if err != nil {
+		return err
+	}
+	if clean < fi.Size() {
+		if err := f.Truncate(clean); err != nil {
+			return fmt.Errorf("ncgio: repairing torn tail: %w", err)
+		}
+	}
+	return nil
+}
+
 // Tailer incrementally reads whole-line frames from a growing checkpoint
 // file: each Next call exposes the complete ('\n'-terminated) lines
 // appended since the previous call, holding a torn tail back until its

@@ -1,0 +1,46 @@
+package ncgio
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/dynamics"
+)
+
+// TrajectoryRecord is the wire form of one cell's per-round trajectory:
+// the cell coordinates plus the full RoundStats sequence the dynamics
+// collected. It lives in an opt-in sidecar file (trajectory.jsonl) next
+// to a sweep's checkpoint, so the main CellResult codec stays small —
+// convergence studies that need full trajectories read the sidecar, and
+// everyone else never pays for it.
+type TrajectoryRecord struct {
+	Alpha    float64               `json:"alpha"`
+	K        int                   `json:"k"`
+	Seed     int64                 `json:"seed"`
+	PerRound []dynamics.RoundStats `json:"per_round"`
+}
+
+// Cell reassembles the record's cell coordinates.
+func (tr TrajectoryRecord) Cell() dynamics.Cell {
+	return dynamics.Cell{Alpha: tr.Alpha, K: tr.K, Seed: tr.Seed}
+}
+
+// MarshalTrajectory returns the canonical one-line JSON encoding of one
+// cell's trajectory (without a trailing newline). Encoding is
+// deterministic, same contract as MarshalCellResult.
+func MarshalTrajectory(c dynamics.Cell, perRound []dynamics.RoundStats) ([]byte, error) {
+	line, err := json.Marshal(TrajectoryRecord{Alpha: c.Alpha, K: c.K, Seed: c.Seed, PerRound: perRound})
+	if err != nil {
+		return nil, fmt.Errorf("ncgio: %w", err)
+	}
+	return line, nil
+}
+
+// UnmarshalTrajectory inverts MarshalTrajectory.
+func UnmarshalTrajectory(line []byte) (TrajectoryRecord, error) {
+	var tr TrajectoryRecord
+	if err := json.Unmarshal(line, &tr); err != nil {
+		return TrajectoryRecord{}, fmt.Errorf("ncgio: %w", err)
+	}
+	return tr, nil
+}

@@ -31,6 +31,10 @@ type CacheStats struct {
 	// DiskHits counts the subset of Hits served by promoting a spill
 	// file into the memory tier (always 0 for a memory-only cache).
 	DiskHits uint64 `json:"disk_hits"`
+	// Coalesced counts computations avoided by in-flight dedup: a sweep
+	// that found another sweep already computing the same (kernel, cell)
+	// joined that flight instead of recomputing.
+	Coalesced uint64 `json:"coalesced"`
 }
 
 // Cache is a bounded, concurrency-safe, content-addressed result cache.
@@ -56,6 +60,22 @@ type Cache struct {
 	misses    uint64
 	evictions uint64
 	diskHits  uint64
+	coalesced uint64
+	// flights tracks in-progress computations for singleflight-style
+	// coalescing across concurrent sweeps (see dedupExecutor): the first
+	// sweep to reach a (kernel, cell) leads its flight, later arrivals
+	// wait on it instead of recomputing.
+	flights map[cacheKey]*flight
+}
+
+// flight is one in-progress (kernel, cell) computation. The leader fills
+// res/ok and closes done exactly once (land); waiters read res only after
+// done is closed. ok=false means the leader was canceled before finishing
+// — joiners must compute the cell themselves.
+type flight struct {
+	done chan struct{}
+	res  dynamics.Result
+	ok   bool
 }
 
 type cacheEntry struct {
@@ -123,6 +143,18 @@ func (c *Cache) Put(kernel string, cell dynamics.Cell, line []byte) {
 	c.put(cacheKey{Kernel: kernel, Cell: cell}, line, true)
 }
 
+// PutMemory stores the line in the memory tier only, leaving the disk
+// spill tier untouched. Lease service uses this: a leased kernel may
+// belong to no local job, so spill files written for it would never be
+// reclaimed by job GC (RemoveKernel only runs on eviction) — the memory
+// LRU bounds follower warmth instead.
+func (c *Cache) PutMemory(kernel string, cell dynamics.Cell, line []byte) {
+	if c == nil || c.max <= 0 {
+		return
+	}
+	c.put(cacheKey{Kernel: kernel, Cell: cell}, line, false)
+}
+
 func (c *Cache) put(key cacheKey, line []byte, spill bool) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
@@ -144,6 +176,42 @@ func (c *Cache) put(key cacheKey, line []byte, spill bool) {
 	if spill && c.dir != "" {
 		c.spillLine(key.Kernel, key.Cell, line)
 	}
+}
+
+// enabled reports whether the cache participates at all (a nil cache or
+// max ≤ 0 disables both tiers and in-flight dedup).
+func (c *Cache) enabled() bool { return c != nil && c.max > 0 }
+
+// lead registers the caller as the computer of key if nobody else is
+// in flight. leader=true: the caller owns the flight and must land it
+// (with a result, or abandoned) exactly once. leader=false: the caller
+// may wait on the returned flight's done channel instead of computing.
+func (c *Cache) lead(key cacheKey) (*flight, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fl, ok := c.flights[key]; ok {
+		c.coalesced++
+		return fl, false
+	}
+	fl := &flight{done: make(chan struct{})}
+	if c.flights == nil {
+		c.flights = make(map[cacheKey]*flight)
+	}
+	c.flights[key] = fl
+	return fl, true
+}
+
+// land completes a flight the caller leads: ok=true publishes res to all
+// waiters, ok=false abandons it (waiters recompute). The registry slot is
+// freed either way, so a later sweep starts a fresh flight.
+func (c *Cache) land(key cacheKey, fl *flight, res dynamics.Result, ok bool) {
+	c.mu.Lock()
+	if c.flights[key] == fl {
+		delete(c.flights, key)
+	}
+	c.mu.Unlock()
+	fl.res, fl.ok = res, ok
+	close(fl.done)
 }
 
 // RemoveKernel drops every entry for kernel from both tiers and deletes
@@ -200,6 +268,7 @@ func (c *Cache) Stats() CacheStats {
 		Misses:    c.misses,
 		Evictions: c.evictions,
 		DiskHits:  c.diskHits,
+		Coalesced: c.coalesced,
 	}
 }
 

@@ -1,0 +1,126 @@
+package sweepd
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"repro/internal/dynamics"
+)
+
+// dedupExecutor coalesces concurrent computations of the same (kernel,
+// cell) across sweeps sharing one Cache. Two jobs with overlapping grids
+// used to compute a shared cell twice when neither had reached the cache
+// yet; with dedup, the first sweep to arrive leads the cell's flight and
+// later arrivals join it, receiving the leader's in-memory Result the
+// moment it lands — before the leader's hold-back sequencer has even
+// emitted it. Joined results are byte-identical to recomputation because
+// the Result object itself is shared (marshaling is deterministic and
+// read-only).
+//
+// A leader canceled mid-flight abandons its undelivered flights; joiners
+// then compute those cells themselves (without re-leading — a second
+// coalescing round after an abandonment is not worth the livelock risk).
+// Joining costs no worker-gate tokens, so waiting never starves the
+// leaders making progress.
+type dedupExecutor struct {
+	cache  *Cache
+	kernel string
+	inner  dynamics.Executor
+}
+
+// Execute implements dynamics.Executor.
+func (d *dedupExecutor) Execute(ctx context.Context, req dynamics.ExecRequest) <-chan dynamics.IndexedResult {
+	out := make(chan dynamics.IndexedResult)
+	go func() {
+		defer close(out)
+		type joined struct {
+			idx int
+			fl  *flight
+		}
+		var lead []int
+		var joins []joined
+		led := make(map[int]*flight)
+		for _, i := range req.Todo {
+			fl, leader := d.cache.lead(cacheKey{Kernel: d.kernel, Cell: req.Cells[i]})
+			if leader {
+				lead = append(lead, i)
+				led[i] = fl
+			} else {
+				joins = append(joins, joined{i, fl})
+			}
+		}
+		send := func(ir dynamics.IndexedResult) bool {
+			select {
+			case out <- ir:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+		runInner := func(todo []int, onResult func(dynamics.IndexedResult)) {
+			sub := req
+			sub.Todo = todo
+			for ir := range d.inner.Execute(ctx, sub) {
+				if onResult != nil {
+					onResult(ir)
+				}
+				if !send(ir) {
+					// The inner executor unblocks via ctx; just stop
+					// forwarding.
+					break
+				}
+			}
+		}
+
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runInner(lead, func(ir dynamics.IndexedResult) {
+				// Land the flight before forwarding: a joiner must never
+				// wait on the leader's downstream sequencing.
+				if fl := led[ir.Index]; fl != nil {
+					d.cache.land(cacheKey{Kernel: d.kernel, Cell: req.Cells[ir.Index]}, fl, ir.Result, true)
+					delete(led, ir.Index)
+				}
+			})
+			// Whatever the inner executor failed to deliver (cancellation)
+			// is abandoned so joiners elsewhere stop waiting.
+			for i, fl := range led {
+				d.cache.land(cacheKey{Kernel: d.kernel, Cell: req.Cells[i]}, fl, dynamics.Result{}, false)
+			}
+		}()
+
+		// One goroutine waits on every joined flight sequentially:
+		// flights land independently of this loop's order, so total wait
+		// is "until the last leader lands" either way, and a job joining
+		// a huge in-flight grid costs O(1) goroutines instead of one per
+		// cell. retry is written only here and read after wg.Wait.
+		var retry []int
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, j := range joins {
+				select {
+				case <-j.fl.done:
+					if j.fl.ok {
+						if !send(dynamics.IndexedResult{Index: j.idx, Result: j.fl.res}) {
+							return
+						}
+					} else {
+						retry = append(retry, j.idx)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		wg.Wait()
+		if len(retry) > 0 && ctx.Err() == nil {
+			sort.Ints(retry)
+			runInner(retry, nil)
+		}
+	}()
+	return out
+}

@@ -1,0 +1,47 @@
+package sweepd
+
+import "sort"
+
+// latencyBuckets are the fixed per-cell wall-time histogram bounds in
+// seconds, log-spaced from sub-millisecond cells (tiny n, cache-adjacent)
+// to the minute-scale cells of paper-size grids. Fixed buckets keep the
+// accounting allocation-free on the hot path and make every job's series
+// directly comparable in Prometheus.
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// latencyHist is a fixed-bucket histogram of per-cell wall times for one
+// job. Callers synchronize externally (Manager.mu); cells take
+// milliseconds at minimum, so the shared lock is never the bottleneck.
+type latencyHist struct {
+	// counts[i] is the number of observations ≤ latencyBuckets[i];
+	// counts[len(latencyBuckets)] is the +Inf overflow bucket. Raw (not
+	// cumulative) — the metrics renderer accumulates. Allocated on the
+	// first observation.
+	counts []uint64
+	sum    float64
+	n      uint64
+}
+
+func (h *latencyHist) observe(seconds float64) {
+	if h.counts == nil {
+		h.counts = make([]uint64, len(latencyBuckets)+1)
+	}
+	i := sort.SearchFloat64s(latencyBuckets, seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.n++
+}
+
+// JobLatency is one job's cell wall-time histogram snapshot, shaped for
+// Prometheus text rendering: Buckets are the upper bounds (excluding
+// +Inf), Counts the matching raw per-bucket counts plus the overflow
+// bucket appended last.
+type JobLatency struct {
+	ID      string
+	Buckets []float64
+	Counts  []uint64
+	Sum     float64
+	Count   uint64
+}

@@ -51,7 +51,10 @@ type Job struct {
 	Total     int       `json:"total_cells"`
 	Completed int       `json:"completed_cells"`
 	CacheHits int       `json:"cache_hits"`
-	Error     string    `json:"error,omitempty"`
+	// RemoteCells counts cells of this job whose results were computed by
+	// peer daemons (always 0 without a sharding executor).
+	RemoteCells int    `json:"remote_cells,omitempty"`
+	Error       string `json:"error,omitempty"`
 	// Created is when the job was first admitted; Finished is when it
 	// last reached a terminal status (zero while running). Both persist
 	// in the store's meta.json, so TTL GC survives restarts.
@@ -74,6 +77,9 @@ type jobState struct {
 	// files; it blocks restarts so no runner starts inside a directory
 	// that is being removed.
 	evicting bool
+	// hist accumulates the wall time of this job's locally computed cells
+	// (under Manager.mu); nil for spec-load-failed placeholders.
+	hist *latencyHist
 }
 
 // restartable reports whether the job is terminal (or about to be) and
@@ -123,6 +129,12 @@ type Manager struct {
 	// work since the manager started.
 	jobsEvicted         uint64
 	spillBytesReclaimed uint64
+	// remoteCells counts cells computed by peer daemons across all jobs
+	// since this manager started.
+	remoteCells uint64
+	// execProvider, when set, supplies per-job compute backends (the
+	// peer-sharding layer); nil means every job runs on the local pool.
+	execProvider ExecutorProvider
 }
 
 // NewManager wires a manager over a store and a (possibly nil) cache.
@@ -157,6 +169,16 @@ func NewManager(store *Store, cache *Cache, workers int) *Manager {
 func (m *Manager) SetMaxJobs(n int) {
 	m.mu.Lock()
 	m.maxJobs = n
+	m.mu.Unlock()
+}
+
+// SetExecutorProvider installs the per-job compute-backend factory (the
+// peer-sharding layer from internal/sweepd/shard). Call before serving
+// traffic. Determinism is unaffected: per-cell seeding makes results
+// byte-identical no matter which backend computes each cell.
+func (m *Manager) SetExecutorProvider(p ExecutorProvider) {
+	m.mu.Lock()
+	m.execProvider = p
 	m.mu.Unlock()
 }
 
@@ -323,11 +345,12 @@ func (m *Manager) admit(sp Spec, enforceQuota bool) (Job, bool, error) {
 			ID:      id,
 			Spec:    sp,
 			Status:  StatusRunning,
-			Total:   len(sp.Cells()),
+			Total:   sp.NumCells(),
 			Created: meta.Created,
 		},
 		cancel: cancel,
 		done:   make(chan struct{}),
+		hist:   &latencyHist{},
 	}
 	created := m.jobs[id] == nil
 	m.jobs[id] = js
@@ -360,6 +383,39 @@ func (m *Manager) finish(js *jobState, status JobStatus, errMsg string) {
 	m.store.WriteMeta(id, meta) //nolint:errcheck // best-effort; GC falls back to Created
 }
 
+// executorFor composes the job's compute backend: the sharding provider's
+// executor when one is installed (falling back to the local pool when it
+// declines the job), wrapped in the in-flight dedup layer when the cache
+// is enabled so concurrent sweeps sharing a kernel never compute the same
+// cell twice.
+func (m *Manager) executorFor(js *jobState, sp Spec, kernel string) dynamics.Executor {
+	m.mu.Lock()
+	provider := m.execProvider
+	m.mu.Unlock()
+	var exec dynamics.Executor
+	if provider != nil {
+		exec = provider.ExecutorFor(sp, func(cells int) {
+			m.mu.Lock()
+			js.job.RemoteCells += cells
+			m.remoteCells += uint64(cells)
+			m.mu.Unlock()
+		})
+	}
+	if exec == nil {
+		exec = dynamics.LocalExecutor{}
+	}
+	return m.wrapDedup(kernel, exec)
+}
+
+// wrapDedup layers in-flight (kernel, cell) coalescing over an executor
+// when the cache is enabled (the flight registry lives in the cache).
+func (m *Manager) wrapDedup(kernel string, exec dynamics.Executor) dynamics.Executor {
+	if !m.cache.enabled() {
+		return exec
+	}
+	return &dedupExecutor{cache: m.cache, kernel: kernel, inner: exec}
+}
+
 // runJob resumes the job from its checkpoint and sweeps the remaining
 // cells, appending each result (in canonical cell order) as one JSONL
 // line. Cells found in the cross-job cache are reused without
@@ -370,19 +426,41 @@ func (m *Manager) runJob(ctx context.Context, js *jobState) {
 	fail := func(err error) { m.finish(js, StatusFailed, err.Error()) }
 
 	kernel := sp.KernelHash()
+	if sp.Trajectories {
+		// Truncate checkpoint and sidecar to their longest common
+		// cell-prefix before reading either: crash damage (surplus
+		// sidecar record from a mid-append kill, or a tail one file
+		// persisted and the other lost to power failure) is dropped and
+		// recomputed deterministically, so the finished pair is always
+		// byte-identical to an uninterrupted run's.
+		if err := m.store.ReconcileTrajectories(id); err != nil {
+			fail(err)
+			return
+		}
+	}
 	prior, err := m.store.LoadResults(id)
 	if err != nil {
 		fail(err)
 		return
 	}
+	// Trajectory jobs bypass the shared result cache entirely: its codec
+	// drops PerRound, so a cache-served cell would leave a silent hole in
+	// the sidecar. Every trajectory cell is either resumed from this
+	// job's own checkpoint (its sidecar record already written) or
+	// computed fresh (in-flight dedup still applies — flights carry the
+	// full in-memory Result, PerRound included).
+	useCache := !sp.Trajectories
+
 	// Keep only the light summaries of checkpointed cells: their final
 	// states go into the cache as encoded lines and are then released,
 	// so resuming a huge job does not pin every decoded state in memory.
 	inCheckpoint := make(map[dynamics.Cell]bool, len(prior))
 	priorByCell := make(map[dynamics.Cell]dynamics.Result, len(prior))
 	for _, r := range prior {
-		if line, err := ncgio.MarshalCellResult(r); err == nil {
-			m.cache.Put(kernel, r.Cell, line)
+		if useCache {
+			if line, err := ncgio.MarshalCellResult(r); err == nil {
+				m.cache.Put(kernel, r.Cell, line)
+			}
 		}
 		inCheckpoint[r.Cell] = true
 		res := r.Result
@@ -398,23 +476,38 @@ func (m *Manager) runJob(ctx context.Context, js *jobState) {
 	}
 	defer w.Close()
 
+	// Trajectory jobs stream per-round stats into a sidecar next to the
+	// checkpoint (reconciled above); the main codec stays small.
+	var tw *ncgio.CheckpointWriter
+	if sp.Trajectories {
+		tw, err = m.store.TrajectoryAppender(id)
+		if err != nil {
+			fail(err)
+			return
+		}
+		defer tw.Close()
+	}
+
 	have := func(c dynamics.Cell) (dynamics.Result, bool) {
 		if r, ok := priorByCell[c]; ok {
 			return r, true
 		}
-		if line, ok := m.cache.Get(kernel, c); ok {
-			if r, err := ncgio.UnmarshalCellResult(line); err == nil {
-				m.mu.Lock()
-				js.job.CacheHits++
-				m.mu.Unlock()
-				return r.Result, true
+		if useCache {
+			if line, ok := m.cache.Get(kernel, c); ok {
+				if r, err := ncgio.UnmarshalCellResult(line); err == nil {
+					m.mu.Lock()
+					js.job.CacheHits++
+					m.mu.Unlock()
+					return r.Result, true
+				}
 			}
 		}
 		return dynamics.Result{}, false
 	}
-	onResult := func(_ int, r dynamics.CellResult, _ bool) error {
+	onResult := func(_ int, r dynamics.CellResult, reused bool) error {
 		if inCheckpoint[r.Cell] {
-			// Already on disk (and cached above); just count it.
+			// Already on disk (and cached above); just count it. Its
+			// trajectory line (if any) was appended before the interruption.
 			m.mu.Lock()
 			js.job.Completed++
 			m.mu.Unlock()
@@ -424,15 +517,37 @@ func (m *Manager) runJob(ctx context.Context, js *jobState) {
 		if err != nil {
 			return err
 		}
+		if tw != nil && !reused && len(r.Result.PerRound) > 0 {
+			// Sidecar line BEFORE checkpoint line: a process kill between
+			// the two appends then leaves a surplus sidecar record rather
+			// than a checkpointed cell with no trajectory; either way —
+			// including a power loss persisting one file's tail but not
+			// the other's — resume truncates both files to their common
+			// prefix and recomputes the difference.
+			tline, err := ncgio.MarshalTrajectory(r.Cell, r.Result.PerRound)
+			if err != nil {
+				return err
+			}
+			if err := tw.AppendLine(tline); err != nil {
+				return err
+			}
+		}
 		if err := w.AppendLine(line); err != nil {
 			return err
 		}
-		m.cache.Put(kernel, r.Cell, line)
+		if useCache {
+			m.cache.Put(kernel, r.Cell, line)
+		}
 		m.mu.Lock()
 		js.job.Completed++
 		m.cellsAppended++
 		m.mu.Unlock()
 		return nil
+	}
+	observe := func(_ int, d time.Duration) {
+		m.mu.Lock()
+		js.hist.observe(d.Seconds())
+		m.mu.Unlock()
 	}
 
 	_, err = dynamics.SweepContext(ctx, sp.Cells(), sp.Config(), sp.Factory(), sp.BaseSeed, dynamics.SweepOptions{
@@ -441,10 +556,20 @@ func (m *Manager) runJob(ctx context.Context, js *jobState) {
 		Have:           have,
 		OnResult:       onResult,
 		DiscardResults: true,
+		Executor:       m.executorFor(js, sp, kernel),
+		Observe:        observe,
 	})
 	if err := w.Sync(); err != nil {
 		fail(err)
 		return
+	}
+	if tw != nil {
+		// Same invariant as the checkpoint: a terminal status is only ever
+		// observed after every sidecar byte is durable.
+		if err := tw.Sync(); err != nil {
+			fail(err)
+			return
+		}
 	}
 	switch {
 	case err == nil:
@@ -454,6 +579,80 @@ func (m *Manager) runJob(ctx context.Context, js *jobState) {
 	default:
 		fail(err)
 	}
+}
+
+// ServeLease computes the contiguous cell range [start, end) of the
+// spec's canonical grid on the local worker pool, emitting one canonical
+// ncgio CellResult line per cell in canonical order — the follower half
+// of the peer-sharding protocol (POST /peer/leases). Lease work draws
+// from the same worker gate as local jobs, so a daemon serving peers
+// never exceeds its configured CPU-bound concurrency, and it shares the
+// result cache both ways: cached cells are served without recomputation,
+// computed cells warm the cache (and coalesce with any local job
+// computing the same kernel). The spec must be normalized and validated
+// by the caller.
+func (m *Manager) ServeLease(ctx context.Context, sp Spec, start, end int, emit func(line []byte) error) error {
+	if n := sp.NumCells(); start < 0 || end > n || start >= end {
+		return fmt.Errorf("sweepd: lease range [%d, %d) outside grid of %d cells", start, end, n)
+	}
+	// Expand only the leased range: a follower serving thousands of
+	// leases against a six-figure grid must not pay O(grid) per lease.
+	sub := sp.CellsRange(start, end)
+	kernel := sp.KernelHash()
+	have := func(c dynamics.Cell) (dynamics.Result, bool) {
+		if line, ok := m.cache.Get(kernel, c); ok {
+			if r, err := ncgio.UnmarshalCellResult(line); err == nil {
+				return r.Result, true
+			}
+		}
+		return dynamics.Result{}, false
+	}
+	onResult := func(_ int, r dynamics.CellResult, reused bool) error {
+		line, err := ncgio.MarshalCellResult(r)
+		if err != nil {
+			return err
+		}
+		if !reused {
+			// Memory tier only: this kernel may belong to no local job,
+			// and spill files without an owning job are never GC'd.
+			m.cache.PutMemory(kernel, r.Cell, line)
+		}
+		return emit(line)
+	}
+	_, err := dynamics.SweepContext(ctx, sub, sp.Config(), sp.Factory(), sp.BaseSeed, dynamics.SweepOptions{
+		Workers:        m.workers,
+		Gate:           m.gate,
+		Have:           have,
+		OnResult:       onResult,
+		DiscardResults: true,
+		Executor:       m.wrapDedup(kernel, dynamics.LocalExecutor{}),
+	})
+	return err
+}
+
+// JobLatencies snapshots every job's per-cell wall-time histogram,
+// sorted by job ID (jobs with no locally computed cells yet are
+// skipped, so /metrics never emits all-zero series).
+func (m *Manager) JobLatencies() []JobLatency {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobLatency, 0, len(m.jobs))
+	for id, js := range m.jobs {
+		if js.hist == nil || js.hist.n == 0 {
+			continue
+		}
+		counts := make([]uint64, len(js.hist.counts))
+		copy(counts, js.hist.counts)
+		out = append(out, JobLatency{
+			ID:      id,
+			Buckets: latencyBuckets,
+			Counts:  counts,
+			Sum:     js.hist.sum,
+			Count:   js.hist.n,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // Get snapshots one job.
@@ -652,6 +851,9 @@ type ManagerStats struct {
 	// work since the manager started.
 	JobsEvicted         uint64
 	SpillBytesReclaimed uint64
+	// RemoteCells counts cells computed by peer daemons for this
+	// manager's jobs since it started.
+	RemoteCells uint64
 	// QueueDepth is the number of running jobs contending for the shared
 	// worker gate; BusyWorkers is how many of the pool's tokens are
 	// checked out right now.
@@ -677,6 +879,7 @@ func (m *Manager) Stats() ManagerStats {
 		Jobs:                jobs,
 		JobsEvicted:         m.jobsEvicted,
 		SpillBytesReclaimed: m.spillBytesReclaimed,
+		RemoteCells:         m.remoteCells,
 		QueueDepth:          jobs[StatusRunning],
 		BusyWorkers:         m.workers - len(m.gate),
 		MaxJobs:             m.maxJobs,
@@ -698,3 +901,7 @@ func (m *Manager) Wait() { m.wg.Wait() }
 
 // ResultsPath exposes the job's checkpoint path for streaming reads.
 func (m *Manager) ResultsPath(id string) string { return m.store.ResultsPath(id) }
+
+// TrajectoryPath exposes the job's trajectory sidecar path for streaming
+// reads (the file exists only for specs with Trajectories set).
+func (m *Manager) TrajectoryPath(id string) string { return m.store.TrajectoryPath(id) }

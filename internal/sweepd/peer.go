@@ -1,0 +1,44 @@
+package sweepd
+
+import "repro/internal/dynamics"
+
+// LeaseRequest is the wire form of POST /peer/leases: a leader daemon
+// asks a peer to compute the contiguous cell range [Start, End) of the
+// spec's canonical grid. Both sides expand Spec.Cells() identically
+// (canonical α-major order), so a pair of ints addresses the work without
+// shipping the cells themselves. The peer streams back one canonical
+// ncgio CellResult line per cell, in canonical order, with blank
+// heartbeat lines interleaved while long cells compute; the leader
+// counts lines, so a stream that ends short of End-Start records is a
+// failed lease and the remainder is reclaimed.
+type LeaseRequest struct {
+	Spec  Spec `json:"spec"`
+	Start int  `json:"start"`
+	End   int  `json:"end"`
+}
+
+// PeerStats snapshots the leader (client) side of the sharding layer for
+// /metrics and /healthz. The follower (server) side — leases and cells
+// served to remote leaders — is counted by the HTTP handler itself.
+type PeerStats struct {
+	// Peers is the number of configured peer daemons.
+	Peers int `json:"peers"`
+	// LeasesIssued counts lease attempts sent to peers; LeaseFailures
+	// counts the subset that failed (rejection, disconnect, heartbeat
+	// expiry) and had their remainder reclaimed locally.
+	LeasesIssued  uint64 `json:"leases_issued"`
+	LeaseFailures uint64 `json:"lease_failures"`
+	// RemoteCells counts cells whose results were computed by peers.
+	RemoteCells uint64 `json:"remote_cells"`
+}
+
+// ExecutorProvider supplies the compute backend for each job, letting the
+// peer-sharding layer (internal/sweepd/shard) plug in without sweepd
+// importing it. ExecutorFor may return nil to mean "run locally" (e.g. no
+// live peers, or a trajectory job whose wire codec cannot carry
+// PerRound). onRemote, when invoked by the returned executor, reports
+// cells whose results arrived from peers — the manager feeds it into the
+// job snapshot (Job.RemoteCells) and daemon metrics.
+type ExecutorProvider interface {
+	ExecutorFor(sp Spec, onRemote func(cells int)) dynamics.Executor
+}

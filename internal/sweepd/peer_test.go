@@ -1,0 +1,271 @@
+package sweepd
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postLease(t *testing.T, url string, req LeaseRequest) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/peer/leases", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// readLeaseLines collects the non-blank result lines of a lease stream.
+func readLeaseLines(t *testing.T, r io.Reader) [][]byte {
+	t.Helper()
+	var out [][]byte
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue // heartbeat
+		}
+		out = append(out, append([]byte(nil), line...))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestPeerLeaseStreamsCanonicalLines: the lease endpoint must stream
+// exactly the requested range, in canonical order, byte-identical to the
+// lines a local job checkpoints for the same cells.
+func TestPeerLeaseStreamsCanonicalLines(t *testing.T) {
+	sp := Spec{N: 12, Alphas: []float64{0.5, 1}, Ks: []int{2, 1000}, Seeds: 2}
+	sp.Normalize()
+
+	// Reference: run the job on a plain local daemon and keep its lines.
+	refStore, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMgr := NewManager(refStore, nil, 4)
+	refJob, _, err := refMgr.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, refMgr, refJob.ID, StatusDone)
+	refMgr.Close()
+	refBytes, err := os.ReadFile(refStore.ResultsPath(refJob.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refLines := bytes.Split(bytes.TrimSuffix(refBytes, []byte("\n")), []byte("\n"))
+
+	// Follower daemon: serve a mid-grid range over HTTP.
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(store, NewCache(1024), 2)
+	defer mgr.Close()
+	srv := httptest.NewServer(newHandler(mgr, 5*time.Millisecond, 10*time.Millisecond))
+	defer srv.Close()
+
+	start, end := 3, 7
+	resp := postLease(t, srv.URL, LeaseRequest{Spec: sp, Start: start, End: end})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lease status = %d", resp.StatusCode)
+	}
+	lines := readLeaseLines(t, resp.Body)
+	if len(lines) != end-start {
+		t.Fatalf("lease streamed %d lines, want %d", len(lines), end-start)
+	}
+	for i, line := range lines {
+		if !bytes.Equal(line, refLines[start+i]) {
+			t.Fatalf("lease line %d differs from local checkpoint line %d:\n%s\n%s", i, start+i, line, refLines[start+i])
+		}
+	}
+
+	// The served cells must have warmed the follower's cache: re-leasing
+	// the same range is served without recomputation.
+	before := mgr.CacheStats()
+	resp2 := postLease(t, srv.URL, LeaseRequest{Spec: sp, Start: start, End: end})
+	defer resp2.Body.Close()
+	lines2 := readLeaseLines(t, resp2.Body)
+	if len(lines2) != end-start {
+		t.Fatalf("second lease streamed %d lines", len(lines2))
+	}
+	after := mgr.CacheStats()
+	if after.Hits-before.Hits != uint64(end-start) {
+		t.Fatalf("second lease hit the cache %d times, want %d", after.Hits-before.Hits, end-start)
+	}
+	for i := range lines2 {
+		if !bytes.Equal(lines2[i], lines[i]) {
+			t.Fatalf("cache-served lease line %d differs", i)
+		}
+	}
+}
+
+// TestCellsRangeMatchesCells pins the lease path's index arithmetic to
+// the canonical expansion: both sides of the protocol must agree on
+// which cell lives at which grid index.
+func TestCellsRangeMatchesCells(t *testing.T) {
+	sp := Spec{N: 10, Alphas: []float64{0.5, 1, 2, 5}, Ks: []int{1, 2, 1000}, Seeds: 3}
+	sp.Normalize()
+	full := sp.Cells()
+	if sp.NumCells() != len(full) {
+		t.Fatalf("NumCells = %d, len(Cells) = %d", sp.NumCells(), len(full))
+	}
+	if got := sp.CellsRange(0, len(full)); len(got) != len(full) {
+		t.Fatalf("CellsRange(0, n) has %d cells", len(got))
+	} else {
+		for i := range full {
+			if got[i] != full[i] {
+				t.Fatalf("cell %d: CellsRange %+v != Cells %+v", i, got[i], full[i])
+			}
+		}
+	}
+	sub := sp.CellsRange(7, 23)
+	for i, c := range sub {
+		if c != full[7+i] {
+			t.Fatalf("range cell %d: %+v != %+v", i, c, full[7+i])
+		}
+	}
+}
+
+// TestPeerLeaseRejections: malformed bodies, invalid specs, bad ranges,
+// and trajectory specs are all 400s — never a stream.
+func TestPeerLeaseRejections(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(store, nil, 1)
+	defer mgr.Close()
+	srv := httptest.NewServer(NewHandler(mgr))
+	defer srv.Close()
+
+	valid := Spec{N: 10, Alphas: []float64{1}, Ks: []int{2}, Seeds: 2}
+	valid.Normalize()
+	traj := valid
+	traj.Trajectories = true
+
+	cases := []struct {
+		name string
+		req  LeaseRequest
+	}{
+		{"invalid spec", LeaseRequest{Spec: Spec{N: 1}, Start: 0, End: 1}},
+		{"negative start", LeaseRequest{Spec: valid, Start: -1, End: 1}},
+		{"end past grid", LeaseRequest{Spec: valid, Start: 0, End: 3}},
+		{"empty range", LeaseRequest{Spec: valid, Start: 1, End: 1}},
+		{"trajectory spec", LeaseRequest{Spec: traj, Start: 0, End: 1}},
+	}
+	for _, tc := range cases {
+		resp := postLease(t, srv.URL, tc.req)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Post(srv.URL+"/peer/leases", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestPeerLeaseHeartbeats: while a lease computes, the stream carries
+// blank keep-alive lines so the leader's watchdog can tell slow from
+// dead — verifiable with a heartbeat interval far below the compute
+// time of the whole range.
+func TestPeerLeaseHeartbeats(t *testing.T) {
+	sp := Spec{N: 40, Alphas: []float64{0.5, 1, 2, 5}, Ks: []int{2, 3, 1000}, Seeds: 3}
+	sp.Normalize()
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(store, nil, 1)
+	defer mgr.Close()
+	srv := httptest.NewServer(newHandler(mgr, time.Millisecond, time.Millisecond))
+	defer srv.Close()
+
+	resp := postLease(t, srv.URL, LeaseRequest{Spec: sp, Start: 0, End: len(sp.Cells())})
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blanks := 0
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			blanks++
+		}
+	}
+	if blanks < 2 { // the final newline accounts for one empty split
+		t.Fatalf("stream carried %d blank segments; expected heartbeats", blanks)
+	}
+}
+
+// TestPeerRateLimitClass: the /peer/* endpoints draw from their own
+// bucket — a peer-rate limit must not throttle interactive reads, and
+// vice versa.
+func TestPeerRateLimitClass(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(store, nil, 1)
+	defer mgr.Close()
+	now := time.Now()
+	h, handler := buildHandler(mgr, Config{PeerRate: 1, now: func() time.Time { return now }})
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+	_ = h
+
+	// First peer request takes the only token (and fails validation —
+	// irrelevant, the limiter runs first); the second must be 429.
+	body := []byte(`{"spec":{"n":1},"start":0,"end":1}`)
+	r1, err := http.Post(srv.URL+"/peer/leases", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Body.Close()
+	if r1.StatusCode != http.StatusBadRequest {
+		t.Fatalf("first peer request status = %d, want 400", r1.StatusCode)
+	}
+	r2, err := http.Post(srv.URL+"/peer/leases", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second peer request status = %d, want 429", r2.StatusCode)
+	}
+	if r2.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// Interactive reads are untouched by the drained peer bucket.
+	r3, err := http.Get(srv.URL + "/sweeps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusOK {
+		t.Fatalf("read status = %d, want 200", r3.StatusCode)
+	}
+}

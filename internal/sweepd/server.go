@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,12 +30,19 @@ type Config struct {
 	// ReadRate and MutateRate are per-endpoint-class token-bucket limits
 	// in requests/second (burst = one second's worth, minimum 1). Read
 	// covers the GET /sweeps endpoints; Mutate covers POST /sweeps and
-	// DELETE /sweeps/{id}. Separate buckets mean heavy readers cannot
-	// starve submissions. /healthz and /metrics are exempt so liveness
-	// probes and scrapers never see 429. <= 0 disables that class's
-	// limit.
+	// DELETE /sweeps/{id}; Peer covers the /peer/* sharding endpoints (a
+	// class of its own, so a chatty leader can neither starve nor be
+	// starved by interactive clients). Separate buckets mean heavy
+	// readers cannot starve submissions. /healthz and /metrics are exempt
+	// so liveness probes and scrapers never see 429. <= 0 disables that
+	// class's limit.
 	ReadRate   float64
 	MutateRate float64
+	PeerRate   float64
+	// PeerStats, when set, feeds the leader-side sharding counters
+	// (leases issued, remote cells, failures) into /metrics and /healthz;
+	// cmd/ncg-server wires it to the shard.Pool.
+	PeerStats func() PeerStats
 	// now is the rate limiter's clock; tests inject a fake.
 	now func() time.Time
 }
@@ -48,10 +56,18 @@ type handler struct {
 
 	readBucket   *tokenBucket
 	mutateBucket *tokenBucket
+	peerBucket   *tokenBucket
 	// throttled counts 429s issued by the rate limiter; quotaRejections
 	// counts submissions refused by the -max-jobs cap.
 	throttled       atomic.Uint64
 	quotaRejections atomic.Uint64
+	// leasesServed / leaseCellsServed count the follower side of the
+	// sharding protocol: leases this daemon completed for remote leaders
+	// and the cell lines streamed back. peerStats, when non-nil, snapshots
+	// the leader side (wired from the shard.Pool).
+	leasesServed     atomic.Uint64
+	leaseCellsServed atomic.Uint64
+	peerStats        func() PeerStats
 
 	mu        sync.Mutex
 	summaries map[string]*summaryState
@@ -107,7 +123,10 @@ func (h *handler) rateLimit(next http.Handler) http.Handler {
 			return
 		}
 		bucket, class := h.readBucket, "read"
-		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		switch {
+		case strings.HasPrefix(r.URL.Path, "/peer/"):
+			bucket, class = h.peerBucket, "peer"
+		case r.Method != http.MethodGet && r.Method != http.MethodHead:
 			bucket, class = h.mutateBucket, "mutate"
 		}
 		ok, wait := bucket.allow()
@@ -135,9 +154,15 @@ func (h *handler) rateLimit(next http.Handler) http.Handler {
 //	                            ?follow=1 tails a running job to its terminal
 //	                            status (sent as the X-Sweep-Status trailer)
 //	GET    /sweeps/{id}/summary per-(α,k) stats.Summarize roll-ups, server-side
+//	GET    /sweeps/{id}/trajectories
+//	                            stream the per-round trajectory sidecar as
+//	                            NDJSON (404 unless the spec set trajectories)
 //	DELETE /sweeps/{id}         cancel a running job (409 if already terminal);
 //	                            ?purge=1 evicts a terminal job entirely (store
 //	                            dir, spill files, summary state)
+//	POST   /peer/leases         compute a contiguous cell range for a peer
+//	                            daemon, streaming canonical result lines back
+//	                            (the follower half of the sharding protocol)
 //	GET    /healthz             liveness + job/cache counters
 //	GET    /metrics             Prometheus text-format counters
 func NewHandler(m *Manager) http.Handler {
@@ -173,6 +198,8 @@ func buildHandler(m *Manager, cfg Config) (*handler, http.Handler) {
 		heartbeatInterval: cfg.HeartbeatInterval,
 		readBucket:        newTokenBucket(cfg.ReadRate, cfg.now),
 		mutateBucket:      newTokenBucket(cfg.MutateRate, cfg.now),
+		peerBucket:        newTokenBucket(cfg.PeerRate, cfg.now),
+		peerStats:         cfg.PeerStats,
 		summaries:         make(map[string]*summaryState),
 	}
 	// Job GC must release the per-job summary state too, or the daemon
@@ -190,7 +217,9 @@ func buildHandler(m *Manager, cfg Config) (*handler, http.Handler) {
 	mux.HandleFunc("GET /sweeps/{id}", h.get)
 	mux.HandleFunc("GET /sweeps/{id}/results", h.results)
 	mux.HandleFunc("GET /sweeps/{id}/summary", h.summary)
+	mux.HandleFunc("GET /sweeps/{id}/trajectories", h.trajectories)
 	mux.HandleFunc("DELETE /sweeps/{id}", h.cancel)
+	mux.HandleFunc("POST /peer/leases", h.peerLease)
 	return h, h.rateLimit(mux)
 }
 
@@ -203,12 +232,16 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 	for _, n := range ms.Jobs {
 		total += n
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	payload := map[string]any{
 		"status":         "ok",
 		"jobs":           total,
 		"jobs_by_status": ms.Jobs,
 		"cache":          h.m.CacheStats(),
-	})
+	}
+	if h.peerStats != nil {
+		payload["peers"] = h.peerStats()
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 func (h *handler) submit(w http.ResponseWriter, r *http.Request) {
@@ -262,7 +295,8 @@ func (h *handler) get(w http.ResponseWriter, r *http.Request) {
 
 func (h *handler) results(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if _, ok := h.m.Get(id); !ok {
+	job, ok := h.m.Get(id)
+	if !ok {
 		writeError(w, http.StatusNotFound, "no such sweep")
 		return
 	}
@@ -272,13 +306,26 @@ func (h *handler) results(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	f, err := os.Open(h.m.ResultsPath(id))
-	// Snapshot the status only after the checkpoint is open: the job can
-	// reach a terminal status between the existence check above and the
-	// open, and a terminal label must only ever be attached to bytes read
-	// after it became terminal (runners sync the file before flipping the
-	// status, so status-then-read means "done" ⇒ the complete grid).
-	job, _ := h.m.Get(id)
+	h.serveLinePrefix(w, id, h.m.ResultsPath(id), job)
+}
+
+// serveLinePrefix streams a checkpoint-format file's whole-line prefix
+// as NDJSON with the job status header — the shared tail of /results and
+// /trajectories. The status is re-snapshotted only after the file is
+// open: the job can reach a terminal status between the caller's
+// existence check and the open, and a terminal label must only ever be
+// attached to bytes read after it became terminal (runners sync the file
+// before flipping the status, so status-then-read means "done" ⇒ the
+// complete data). If the job was evicted in between, the caller's first
+// snapshot is kept instead of serving an empty status. Only the
+// whole-line prefix is served: a crashed writer can leave a torn final
+// line that no runner has repaired yet, and half a JSON record must not
+// reach clients.
+func (h *handler) serveLinePrefix(w http.ResponseWriter, id, path string, job Job) {
+	f, err := os.Open(path)
+	if j, ok := h.m.Get(id); ok {
+		job = j
+	}
 	if os.IsNotExist(err) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.Header().Set("X-Sweep-Status", string(job.Status))
@@ -295,9 +342,6 @@ func (h *handler) results(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	// Serve only the whole-line prefix: a crashed writer can leave a torn
-	// final line that no runner has repaired yet (spec-load-failed jobs
-	// never get one), and half a JSON record must not reach clients.
 	clamp, err := ncgio.LastCompleteOffset(f, fi.Size())
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
@@ -397,6 +441,120 @@ func (h *handler) followResults(w http.ResponseWriter, r *http.Request, id strin
 			return
 		case <-time.After(h.pollInterval):
 		}
+	}
+}
+
+// trajectories streams a sweep's per-round trajectory sidecar as NDJSON
+// (one ncgio.TrajectoryRecord line per cell). Jobs whose spec did not
+// opt in are a 404 — the sidecar can never exist for them. Framing and
+// status semantics are serveLinePrefix's, shared with /results.
+func (h *handler) trajectories(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := h.m.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such sweep")
+		return
+	}
+	if !job.Spec.Trajectories {
+		writeError(w, http.StatusNotFound,
+			`sweep did not opt into trajectories (set "trajectories": true in the spec)`)
+		return
+	}
+	h.serveLinePrefix(w, id, h.m.TrajectoryPath(id), job)
+}
+
+// peerLease serves POST /peer/leases, the follower half of the sharding
+// protocol: validate the leader's spec and range, then stream each cell's
+// canonical result line as the local pool produces it (in canonical
+// order), with blank heartbeat lines while long cells compute so the
+// leader's lease watchdog can tell "slow" from "dead". A failure after
+// streaming began simply ends the stream short — the leader counts lines
+// and reclaims the remainder.
+func (h *handler) peerLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad lease JSON: "+err.Error())
+		return
+	}
+	sp := req.Spec
+	sp.Normalize()
+	if err := sp.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if sp.Trajectories {
+		// The wire codec drops PerRound; serving such a lease would
+		// silently lose the very data the spec asked for.
+		writeError(w, http.StatusBadRequest, "trajectory sweeps are not shardable")
+		return
+	}
+	if n := sp.NumCells(); req.Start < 0 || req.End > n || req.Start >= req.End {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("lease range [%d, %d) outside grid of %d cells", req.Start, req.End, n))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	// The emitter and the heartbeat ticker share the connection; wmu also
+	// guards lastByte so heartbeats only fill genuine silence. The
+	// handler must not return while the ticker goroutine can still touch
+	// the ResponseWriter, so it is joined (not just signaled) on the way
+	// out.
+	var wmu sync.Mutex
+	lastByte := time.Now()
+	stop := make(chan struct{})
+	hbDone := make(chan struct{})
+	defer func() {
+		close(stop)
+		<-hbDone
+	}()
+	go func() {
+		defer close(hbDone)
+		ticker := time.NewTicker(h.heartbeatInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-r.Context().Done():
+				return
+			case <-ticker.C:
+				wmu.Lock()
+				if time.Since(lastByte) >= h.heartbeatInterval {
+					if _, err := io.WriteString(w, "\n"); err == nil {
+						if flusher != nil {
+							flusher.Flush()
+						}
+						lastByte = time.Now()
+					}
+				}
+				wmu.Unlock()
+			}
+		}
+	}()
+	emit := func(line []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		lastByte = time.Now()
+		h.leaseCellsServed.Add(1)
+		return nil
+	}
+	if err := h.m.ServeLease(r.Context(), sp, req.Start, req.End, emit); err == nil {
+		h.leasesServed.Add(1)
 	}
 }
 
@@ -624,6 +782,54 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP sweepd_quota_rejections_total Submissions refused by the -max-jobs cap.\n")
 	fmt.Fprintf(w, "# TYPE sweepd_quota_rejections_total counter\n")
 	fmt.Fprintf(w, "sweepd_quota_rejections_total %d\n", h.quotaRejections.Load())
+	fmt.Fprintf(w, "# HELP sweepd_cache_coalesced_total Computations avoided by in-flight (kernel, cell) dedup.\n")
+	fmt.Fprintf(w, "# TYPE sweepd_cache_coalesced_total counter\n")
+	fmt.Fprintf(w, "sweepd_cache_coalesced_total %d\n", cs.Coalesced)
+	fmt.Fprintf(w, "# HELP sweepd_peer_leases_served_total Leases this daemon completed for remote leaders.\n")
+	fmt.Fprintf(w, "# TYPE sweepd_peer_leases_served_total counter\n")
+	fmt.Fprintf(w, "sweepd_peer_leases_served_total %d\n", h.leasesServed.Load())
+	fmt.Fprintf(w, "# HELP sweepd_peer_cells_served_total Cell result lines streamed to remote leaders.\n")
+	fmt.Fprintf(w, "# TYPE sweepd_peer_cells_served_total counter\n")
+	fmt.Fprintf(w, "sweepd_peer_cells_served_total %d\n", h.leaseCellsServed.Load())
+	fmt.Fprintf(w, "# HELP sweepd_remote_cells_total Cells of this daemon's jobs computed by peers.\n")
+	fmt.Fprintf(w, "# TYPE sweepd_remote_cells_total counter\n")
+	fmt.Fprintf(w, "sweepd_remote_cells_total %d\n", ms.RemoteCells)
+	if h.peerStats != nil {
+		ps := h.peerStats()
+		fmt.Fprintf(w, "# HELP sweepd_peers Peer daemons configured for sharding.\n")
+		fmt.Fprintf(w, "# TYPE sweepd_peers gauge\n")
+		fmt.Fprintf(w, "sweepd_peers %d\n", ps.Peers)
+		fmt.Fprintf(w, "# HELP sweepd_peer_leases_issued_total Lease attempts sent to peers.\n")
+		fmt.Fprintf(w, "# TYPE sweepd_peer_leases_issued_total counter\n")
+		fmt.Fprintf(w, "sweepd_peer_leases_issued_total %d\n", ps.LeasesIssued)
+		fmt.Fprintf(w, "# HELP sweepd_peer_lease_failures_total Leases that failed and were reclaimed locally.\n")
+		fmt.Fprintf(w, "# TYPE sweepd_peer_lease_failures_total counter\n")
+		fmt.Fprintf(w, "sweepd_peer_lease_failures_total %d\n", ps.LeaseFailures)
+	}
+	// Per-job cell wall-time histograms (locally computed cells only).
+	// Jobs with no observations are skipped, and evicted jobs drop their
+	// series, so cardinality tracks the -max-jobs retention cap.
+	if lats := h.m.JobLatencies(); len(lats) > 0 {
+		fmt.Fprintf(w, "# HELP sweepd_job_cell_seconds Wall time of locally computed cells, per job.\n")
+		fmt.Fprintf(w, "# TYPE sweepd_job_cell_seconds histogram\n")
+		for _, jl := range lats {
+			cum := uint64(0)
+			for i, bound := range jl.Buckets {
+				cum += jl.Counts[i]
+				fmt.Fprintf(w, "sweepd_job_cell_seconds_bucket{job=%q,le=%q} %d\n", jl.ID, formatBound(bound), cum)
+			}
+			cum += jl.Counts[len(jl.Buckets)]
+			fmt.Fprintf(w, "sweepd_job_cell_seconds_bucket{job=%q,le=\"+Inf\"} %d\n", jl.ID, cum)
+			fmt.Fprintf(w, "sweepd_job_cell_seconds_sum{job=%q} %g\n", jl.ID, jl.Sum)
+			fmt.Fprintf(w, "sweepd_job_cell_seconds_count{job=%q} %d\n", jl.ID, jl.Count)
+		}
+	}
+}
+
+// formatBound renders a histogram bucket bound the way Prometheus
+// expects (shortest float representation, no exponent for these scales).
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
 }
 
 func (h *handler) cancel(w http.ResponseWriter, r *http.Request) {

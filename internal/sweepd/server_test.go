@@ -156,9 +156,9 @@ func TestServerRejectsBadSpecs(t *testing.T) {
 	srv, _ := newTestServer(t)
 	for _, body := range []string{
 		`not json`,
-		`{"n": 1, "alphas": [1], "ks": [2], "seeds": 1}`,           // n too small
-		`{"n": 10, "alphas": [], "ks": [2], "seeds": 1}`,           // empty grid
-		`{"n": 10, "alphas": [1], "ks": [2], "seeds": 1, "x": 1}`,  // unknown field
+		`{"n": 1, "alphas": [1], "ks": [2], "seeds": 1}`,          // n too small
+		`{"n": 10, "alphas": [], "ks": [2], "seeds": 1}`,          // empty grid
+		`{"n": 10, "alphas": [1], "ks": [2], "seeds": 1, "x": 1}`, // unknown field
 		`{"n": 10, "alphas": [1], "ks": [2], "seeds": 1, "variant": "min"}`,
 	} {
 		resp, err := http.Post(srv.URL+"/sweeps", "application/json", strings.NewReader(body))

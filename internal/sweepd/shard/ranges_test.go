@@ -1,0 +1,36 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestContiguousRanges(t *testing.T) {
+	cases := []struct {
+		name string
+		todo []int
+		max  int
+		want []cellRange
+	}{
+		{"empty", nil, 4, nil},
+		{"one run under cap", []int{2, 3, 4}, 8, []cellRange{{2, 5}}},
+		{"cap splits a run", []int{0, 1, 2, 3, 4}, 2, []cellRange{{0, 2}, {2, 4}, {4, 5}}},
+		{"resume hole splits", []int{0, 1, 5, 6, 7}, 8, []cellRange{{0, 2}, {5, 8}}},
+		{"singletons", []int{1, 3, 5}, 4, []cellRange{{1, 2}, {3, 4}, {5, 6}}},
+	}
+	for _, tc := range cases {
+		got := contiguousRanges(tc.todo, tc.max)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: contiguousRanges(%v, %d) = %v, want %v", tc.name, tc.todo, tc.max, got, tc.want)
+		}
+	}
+	// Every range must reconstruct exactly its todo slice.
+	todo := []int{0, 1, 2, 7, 8, 20}
+	var flat []int
+	for _, cr := range contiguousRanges(todo, 2) {
+		flat = append(flat, cr.todo()...)
+	}
+	if !reflect.DeepEqual(flat, todo) {
+		t.Fatalf("ranges lose cells: %v vs %v", flat, todo)
+	}
+}

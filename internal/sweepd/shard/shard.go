@@ -1,0 +1,308 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dynamics"
+	"repro/internal/ncgio"
+	"repro/internal/sweepd"
+)
+
+// Options tunes a Pool. The zero value is production-ready.
+type Options struct {
+	// LeaseCells caps how many cells one lease covers (default 64).
+	// Smaller leases balance better and lose less to a dead peer;
+	// larger leases amortize HTTP overhead.
+	LeaseCells int
+	// LeaseTTL is the heartbeat watchdog: a lease whose stream delivers
+	// no bytes for this long is canceled and its remainder reclaimed
+	// locally (default 45s; followers heartbeat every ~15s).
+	LeaseTTL time.Duration
+	// Client issues the lease requests (default: a client with no
+	// overall timeout — leases are long-lived streams bounded by the
+	// TTL watchdog instead).
+	Client *http.Client
+}
+
+// Pool fans sweep work out to peer daemons. It implements
+// sweepd.ExecutorProvider; install it with Manager.SetExecutorProvider.
+// A Pool is safe for concurrent use by many jobs.
+type Pool struct {
+	peers []string
+	opts  Options
+
+	leasesIssued  atomic.Uint64
+	leaseFailures atomic.Uint64
+	remoteCells   atomic.Uint64
+}
+
+// New builds a pool over the peers' base URLs (e.g.
+// "http://10.0.0.2:8080"). An empty peer list is valid: every job then
+// runs locally.
+func New(peers []string, opts Options) *Pool {
+	if opts.LeaseCells <= 0 {
+		opts.LeaseCells = 64
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 45 * time.Second
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{}
+	}
+	ps := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if p != "" {
+			ps = append(ps, p)
+		}
+	}
+	return &Pool{peers: ps, opts: opts}
+}
+
+// Stats snapshots the leader-side sharding counters.
+func (p *Pool) Stats() sweepd.PeerStats {
+	return sweepd.PeerStats{
+		Peers:         len(p.peers),
+		LeasesIssued:  p.leasesIssued.Load(),
+		LeaseFailures: p.leaseFailures.Load(),
+		RemoteCells:   p.remoteCells.Load(),
+	}
+}
+
+// ExecutorFor implements sweepd.ExecutorProvider. It returns nil (run
+// locally) when no peers are configured or the spec opted into
+// trajectories, whose per-round data the lease wire codec cannot carry.
+func (p *Pool) ExecutorFor(sp sweepd.Spec, onRemote func(cells int)) dynamics.Executor {
+	if len(p.peers) == 0 || sp.Trajectories {
+		return nil
+	}
+	return &executor{pool: p, spec: sp, onRemote: onRemote}
+}
+
+// executor shards one job's cells between the local pool and the peers.
+type executor struct {
+	pool     *Pool
+	spec     sweepd.Spec
+	onRemote func(cells int)
+}
+
+// cellRange is a contiguous [start, end) slice of the canonical grid.
+type cellRange struct{ start, end int }
+
+func (cr cellRange) len() int { return cr.end - cr.start }
+
+func (cr cellRange) todo() []int {
+	out := make([]int, 0, cr.len())
+	for i := cr.start; i < cr.end; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// contiguousRanges splits ascending todo indices into maximal consecutive
+// runs, each capped at max cells. Resume holes (cells satisfied from the
+// checkpoint or cache) end a run, so every range maps to one lease over
+// [start, end) of the full grid.
+func contiguousRanges(todo []int, max int) []cellRange {
+	var out []cellRange
+	for i := 0; i < len(todo); {
+		start := todo[i]
+		j := i + 1
+		for j < len(todo) && todo[j] == todo[j-1]+1 && j-i < max {
+			j++
+		}
+		out = append(out, cellRange{start: start, end: todo[j-1] + 1})
+		i = j
+	}
+	return out
+}
+
+// Execute implements dynamics.Executor: local pool and peers pull lease-
+// sized ranges from one shared queue; failed leases are reclaimed by
+// recomputing their undelivered remainder locally.
+func (e *executor) Execute(ctx context.Context, req dynamics.ExecRequest) <-chan dynamics.IndexedResult {
+	out := make(chan dynamics.IndexedResult)
+	go func() {
+		defer close(out)
+		queue := make(chan cellRange)
+		go func() {
+			defer close(queue)
+			for _, cr := range contiguousRanges(req.Todo, e.pool.opts.LeaseCells) {
+				select {
+				case queue <- cr:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		send := func(ir dynamics.IndexedResult) bool {
+			select {
+			case out <- ir:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+		local := func(todo []int) {
+			if len(todo) == 0 {
+				return
+			}
+			sub := req
+			sub.Todo = todo
+			for ir := range (dynamics.LocalExecutor{}).Execute(ctx, sub) {
+				if !send(ir) {
+					break
+				}
+			}
+		}
+
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() { // local consumer
+			defer wg.Done()
+			for cr := range queue {
+				local(cr.todo())
+			}
+		}()
+		for _, peer := range e.pool.peers {
+			wg.Add(1)
+			go func(peer string) {
+				defer wg.Done()
+				for cr := range queue {
+					e.pool.leasesIssued.Add(1)
+					got, err := e.lease(ctx, peer, cr, req.Cells, send)
+					if err != nil {
+						if got > 0 {
+							e.recordRemote(got)
+						}
+						// Reclaim the undelivered remainder locally, then
+						// retire this peer for the rest of the sweep (the
+						// next job probes it afresh). A sweep canceled
+						// outright is not a peer failure.
+						if ctx.Err() == nil {
+							e.pool.leaseFailures.Add(1)
+							local(cr.todo()[got:])
+						}
+						return
+					}
+					e.recordRemote(cr.len())
+				}
+			}(peer)
+		}
+		wg.Wait()
+	}()
+	return out
+}
+
+func (e *executor) recordRemote(cells int) {
+	e.pool.remoteCells.Add(uint64(cells))
+	if e.onRemote != nil {
+		e.onRemote(cells)
+	}
+}
+
+// retryAfter reads a 429's Retry-After hint in seconds, clamped to
+// [100ms, max] (a zero or absent hint must not produce a busy-loop).
+func retryAfter(resp *http.Response, max time.Duration) time.Duration {
+	wait := time.Second
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil {
+			wait = time.Duration(secs) * time.Second
+		}
+	}
+	if wait < 100*time.Millisecond {
+		wait = 100 * time.Millisecond
+	}
+	if wait > max {
+		wait = max
+	}
+	return wait
+}
+
+// lease asks one peer for [cr.start, cr.end) and streams the results
+// into send as they arrive, returning how many cells were delivered. The
+// TTL watchdog cancels a stream that goes silent (no result lines and no
+// heartbeats); any error leaves the remainder to the caller's reclaim.
+func (e *executor) lease(ctx context.Context, peer string, cr cellRange, cells []dynamics.Cell, send func(dynamics.IndexedResult) bool) (got int, err error) {
+	body, err := json.Marshal(sweepd.LeaseRequest{Spec: e.spec, Start: cr.start, End: cr.end})
+	if err != nil {
+		return 0, err
+	}
+	lctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ttl := e.pool.opts.LeaseTTL
+	watchdog := time.AfterFunc(ttl, cancel)
+	defer watchdog.Stop()
+
+	// A 429 is load shedding (-peer-rate on the follower), not death:
+	// honor Retry-After and retry instead of retiring a healthy peer,
+	// bounding total backoff by the lease TTL so a peer that only ever
+	// throttles still falls back to local compute eventually.
+	var resp *http.Response
+	for backoff := time.Duration(0); ; {
+		hreq, err := http.NewRequestWithContext(lctx, http.MethodPost, peer+"/peer/leases", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		resp, err = e.pool.opts.Client.Do(hreq)
+		if err != nil {
+			return 0, fmt.Errorf("shard: peer %s: %w", peer, err)
+		}
+		if resp.StatusCode != http.StatusTooManyRequests || backoff >= ttl {
+			break
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck // drain for reuse
+		resp.Body.Close()
+		wait := retryAfter(resp, ttl)
+		watchdog.Reset(wait + ttl)
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+		backoff += wait
+		watchdog.Reset(ttl)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck // drain for reuse
+		return 0, fmt.Errorf("shard: peer %s rejected lease: %s", peer, resp.Status)
+	}
+
+	br := bufio.NewReaderSize(resp.Body, 64*1024)
+	want := cr.len()
+	for got < want {
+		line, rerr := br.ReadBytes('\n')
+		if rerr != nil {
+			return got, fmt.Errorf("shard: peer %s: lease stream ended after %d of %d cells: %w", peer, got, want, rerr)
+		}
+		watchdog.Reset(ttl)
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue // heartbeat
+		}
+		rec, uerr := ncgio.UnmarshalCellResult(line)
+		if uerr != nil {
+			return got, fmt.Errorf("shard: peer %s: %w", peer, uerr)
+		}
+		idx := cr.start + got
+		if rec.Cell != cells[idx] {
+			return got, fmt.Errorf("shard: peer %s returned cell %+v at grid index %d, want %+v", peer, rec.Cell, idx, cells[idx])
+		}
+		if !send(dynamics.IndexedResult{Index: idx, Result: rec.Result}) {
+			return got, ctx.Err()
+		}
+		got++
+	}
+	return got, nil
+}

@@ -1,0 +1,363 @@
+package shard_test
+
+// End-to-end tests for the peer-sharding subsystem: real daemons wired
+// over httptest, proving the acceptance criterion — checkpoints are
+// byte-identical with 0, 1, or 2 peers, across a peer killed mid-sweep,
+// and across a peer that hangs until the lease TTL reclaims its range.
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sweepd"
+	"repro/internal/sweepd/shard"
+)
+
+func e2eSpec() sweepd.Spec {
+	sp := sweepd.Spec{
+		N:      16,
+		Alphas: []float64{0.5, 1, 2},
+		Ks:     []int{2, 1000},
+		Seeds:  4, // 24 cells
+	}
+	sp.Normalize()
+	return sp
+}
+
+// daemon is one in-process sweepd instance with its HTTP surface.
+type daemon struct {
+	store *sweepd.Store
+	mgr   *sweepd.Manager
+	srv   *httptest.Server
+	// leases counts POST /peer/leases requests that reached this daemon.
+	leases atomic.Uint64
+}
+
+func newDaemon(t *testing.T, workers int) *daemon {
+	t.Helper()
+	store, err := sweepd.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := sweepd.NewManager(store, sweepd.NewCache(4096), workers)
+	h := sweepd.NewHandlerConfig(mgr, sweepd.Config{
+		PollInterval:      5 * time.Millisecond,
+		HeartbeatInterval: 20 * time.Millisecond,
+	})
+	d := &daemon{store: store, mgr: mgr}
+	d.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/peer/leases" {
+			d.leases.Add(1)
+		}
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		d.srv.Close()
+		d.mgr.Close()
+	})
+	return d
+}
+
+func waitDone(t *testing.T, m *sweepd.Manager, id string) sweepd.Job {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		job, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		switch job.Status {
+		case sweepd.StatusDone:
+			return job
+		case sweepd.StatusFailed:
+			t.Fatalf("job failed: %s", job.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("timed out waiting for job")
+	return sweepd.Job{}
+}
+
+// runSharded runs the spec on a fresh leader sharded across the given
+// peers and returns the finished checkpoint bytes plus the leader's job
+// snapshot and pool.
+func runSharded(t *testing.T, sp sweepd.Spec, opts shard.Options, peers ...*daemon) ([]byte, sweepd.Job, *shard.Pool) {
+	t.Helper()
+	leader := newDaemon(t, 4)
+	urls := make([]string, 0, len(peers))
+	for _, p := range peers {
+		urls = append(urls, p.srv.URL)
+	}
+	pool := shard.New(urls, opts)
+	leader.mgr.SetExecutorProvider(pool)
+	job, _, err := leader.mgr.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitDone(t, leader.mgr, job.ID)
+	data, err := os.ReadFile(leader.store.ResultsPath(job.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, done, pool
+}
+
+// TestShardedSweepByteIdentical is the acceptance criterion: the same
+// spec finishes with byte-identical checkpoints on a lone daemon, a
+// leader with one peer, and a leader with two peers — and the peers
+// demonstrably served leases.
+func TestShardedSweepByteIdentical(t *testing.T) {
+	sp := e2eSpec()
+	opts := shard.Options{LeaseCells: 3, LeaseTTL: 30 * time.Second}
+
+	ref, refJob, _ := runSharded(t, sp, opts) // zero peers
+	if refJob.RemoteCells != 0 {
+		t.Fatalf("peerless run reports %d remote cells", refJob.RemoteCells)
+	}
+	if len(ref) == 0 {
+		t.Fatal("reference checkpoint is empty")
+	}
+
+	p1 := newDaemon(t, 2)
+	one, oneJob, pool1 := runSharded(t, sp, opts, p1)
+	if !bytes.Equal(one, ref) {
+		t.Fatalf("1-peer checkpoint differs from lone-daemon run (%d vs %d bytes)", len(one), len(ref))
+	}
+	if p1.leases.Load() == 0 {
+		t.Fatal("peer served no leases; the sharded path was not exercised")
+	}
+	if st := pool1.Stats(); st.RemoteCells == 0 || st.LeasesIssued == 0 {
+		t.Fatalf("pool stats show no remote work: %+v", st)
+	}
+	if oneJob.RemoteCells == 0 {
+		t.Fatal("job snapshot counted no remote cells")
+	}
+
+	p2a, p2b := newDaemon(t, 2), newDaemon(t, 2)
+	two, _, _ := runSharded(t, sp, opts, p2a, p2b)
+	if !bytes.Equal(two, ref) {
+		t.Fatalf("2-peer checkpoint differs from lone-daemon run (%d vs %d bytes)", len(two), len(ref))
+	}
+	if p2a.leases.Load()+p2b.leases.Load() == 0 {
+		t.Fatal("neither peer served a lease")
+	}
+}
+
+// TestPeerKilledMidSweepReclaims kills the peer's HTTP server while the
+// leader's sweep is in flight: the leader must reclaim any broken lease,
+// finish the job locally, and still produce byte-identical results.
+func TestPeerKilledMidSweepReclaims(t *testing.T) {
+	sp := sweepd.Spec{
+		N:      20,
+		Alphas: []float64{0.3, 0.5, 1, 2, 5},
+		Ks:     []int{2, 3, 1000},
+		Seeds:  4, // 60 cells: long enough to kill mid-flight
+	}
+	sp.Normalize()
+	opts := shard.Options{LeaseCells: 2, LeaseTTL: 30 * time.Second}
+
+	ref, _, _ := runSharded(t, sp, opts)
+
+	peer := newDaemon(t, 1) // slow follower: leases outlive the kill window
+	leader := newDaemon(t, 4)
+	pool := shard.New([]string{peer.srv.URL}, opts)
+	leader.mgr.SetExecutorProvider(pool)
+	job, _, err := leader.mgr.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the peer as soon as it has a lease in hand.
+	deadline := time.Now().Add(60 * time.Second)
+	for peer.leases.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("peer never received a lease")
+		}
+		if j, _ := leader.mgr.Get(job.ID); j.Status == sweepd.StatusDone {
+			break // sweep outran the kill; byte-equality below still holds
+		}
+		time.Sleep(time.Millisecond)
+	}
+	peer.srv.CloseClientConnections()
+	peer.srv.Close()
+
+	waitDone(t, leader.mgr, job.ID)
+	data, err := os.ReadFile(leader.store.ResultsPath(job.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, ref) {
+		t.Fatalf("post-kill checkpoint differs from reference (%d vs %d bytes)", len(data), len(ref))
+	}
+}
+
+// TestHangingPeerLeaseExpires covers the heartbeat watchdog: a peer that
+// accepts a lease and then never sends a byte must have its range
+// reclaimed after LeaseTTL, the job must still finish, and the results
+// must stay byte-identical.
+func TestHangingPeerLeaseExpires(t *testing.T) {
+	sp := e2eSpec()
+	opts := shard.Options{LeaseCells: 4, LeaseTTL: 30 * time.Second}
+	ref, _, _ := runSharded(t, sp, opts)
+
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		<-r.Context().Done() // never a byte, never a heartbeat
+	}))
+	defer hang.Close()
+
+	leader := newDaemon(t, 4)
+	pool := shard.New([]string{hang.URL}, shard.Options{LeaseCells: 4, LeaseTTL: 150 * time.Millisecond})
+	leader.mgr.SetExecutorProvider(pool)
+	job, _, err := leader.mgr.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, leader.mgr, job.ID)
+	data, err := os.ReadFile(leader.store.ResultsPath(job.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, ref) {
+		t.Fatalf("post-expiry checkpoint differs from reference (%d vs %d bytes)", len(data), len(ref))
+	}
+	if st := pool.Stats(); st.LeaseFailures == 0 {
+		t.Fatalf("no lease failure recorded after hang: %+v", st)
+	}
+}
+
+// TestThrottledPeerIsRetriedNotRetired: a follower shedding load with
+// 429 + Retry-After is healthy, not dead — the leader must back off and
+// retry the lease rather than counting a failure and abandoning the
+// peer, and results stay byte-identical.
+func TestThrottledPeerIsRetriedNotRetired(t *testing.T) {
+	sp := e2eSpec()
+	opts := shard.Options{LeaseCells: 3, LeaseTTL: 30 * time.Second}
+	ref, _, _ := runSharded(t, sp, opts)
+
+	peer := newDaemon(t, 2)
+	var throttled atomic.Uint64
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Shed the first two lease attempts, then serve normally.
+		if throttled.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0") // clamped to 100ms by the client
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		r2, err := http.NewRequestWithContext(r.Context(), r.Method, peer.srv.URL+r.URL.Path, r.Body)
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		resp, err := http.DefaultClient.Do(r2)
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		buf := make([]byte, 4096)
+		flusher, _ := w.(http.Flusher)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			if n > 0 {
+				if _, werr := w.Write(buf[:n]); werr != nil {
+					return
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+			}
+			if rerr != nil {
+				return
+			}
+		}
+	}))
+	defer proxy.Close()
+
+	leader := newDaemon(t, 4)
+	pool := shard.New([]string{proxy.URL}, shard.Options{LeaseCells: 3, LeaseTTL: 30 * time.Second})
+	leader.mgr.SetExecutorProvider(pool)
+	job, _, err := leader.mgr.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, leader.mgr, job.ID)
+	data, err := os.ReadFile(leader.store.ResultsPath(job.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, ref) {
+		t.Fatalf("throttled-peer checkpoint differs (%d vs %d bytes)", len(data), len(ref))
+	}
+	st := pool.Stats()
+	if st.LeaseFailures != 0 {
+		t.Fatalf("throttling was counted as %d lease failures", st.LeaseFailures)
+	}
+	if st.RemoteCells == 0 {
+		t.Fatal("throttled peer never served cells; it was retired instead of retried")
+	}
+	if throttled.Load() < 3 {
+		t.Fatalf("proxy saw %d lease attempts; retry path not exercised", throttled.Load())
+	}
+}
+
+// TestShardedResumeAfterLeaderRestart composes sharding with the resume
+// guarantee: a leader canceled mid-sweep and reopened over the same
+// store (still sharded) finishes byte-identical to the lone-daemon run.
+func TestShardedResumeAfterLeaderRestart(t *testing.T) {
+	sp := e2eSpec()
+	opts := shard.Options{LeaseCells: 3, LeaseTTL: 30 * time.Second}
+	ref, _, _ := runSharded(t, sp, opts)
+
+	peer := newDaemon(t, 2)
+	dir := t.TempDir()
+	store1, err := sweepd.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr1 := sweepd.NewManager(store1, sweepd.NewCache(4096), 2)
+	mgr1.SetExecutorProvider(shard.New([]string{peer.srv.URL}, opts))
+	job, _, err := mgr1.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if j, _ := mgr1.Get(job.ID); j.Completed >= 3 || j.Status == sweepd.StatusDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never made progress")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mgr1.Close()
+
+	store2, err := sweepd.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr2 := sweepd.NewManager(store2, sweepd.NewCache(4096), 4)
+	mgr2.SetExecutorProvider(shard.New([]string{peer.srv.URL}, opts))
+	defer mgr2.Close()
+	if err := mgr2.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, mgr2, job.ID)
+	data, err := os.ReadFile(store2.ResultsPath(job.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, ref) {
+		t.Fatalf("resumed sharded checkpoint differs from reference (%d vs %d bytes)", len(data), len(ref))
+	}
+}

@@ -45,6 +45,16 @@ type Spec struct {
 	// the experiment-driver values).
 	MaxRounds       int `json:"max_rounds,omitempty"`
 	CycleCheckAfter int `json:"cycle_check_after,omitempty"`
+	// Trajectories opts into per-round statistics: every cell's
+	// RoundStats sequence is appended to a trajectory.jsonl sidecar next
+	// to the checkpoint (served at GET /sweeps/{id}/trajectories). The
+	// main CellResult codec stays small either way. Collection costs an
+	// all-pairs BFS per round, and because the cache and peer-lease wire
+	// codecs both drop PerRound, trajectory jobs bypass the result cache
+	// and never shard to peers — every cell computes in-process (or
+	// resumes from this job's own checkpoint, whose sidecar record was
+	// already written), so the sidecar is always the complete grid.
+	Trajectories bool `json:"trajectories,omitempty"`
 }
 
 // maxJobCells caps a single job's grid so one bad request can't pin the
@@ -169,6 +179,30 @@ func (sp Spec) Cells() []dynamics.Cell {
 	return dynamics.Grid(sp.Alphas, sp.Ks, sp.Seeds)
 }
 
+// NumCells is len(Cells()) without the O(grid) expansion — for callers
+// that only need to validate offsets (the lease handler runs once per
+// lease, and paper-scale grids are six figures of cells).
+func (sp Spec) NumCells() int {
+	return len(sp.Alphas) * len(sp.Ks) * sp.Seeds
+}
+
+// CellsRange expands only the [start, end) slice of the canonical grid
+// by index arithmetic — the lease path serves ranges far smaller than
+// the grid, and must not pay O(grid) per lease. Offsets must be
+// validated against NumCells by the caller.
+func (sp Spec) CellsRange(start, end int) []dynamics.Cell {
+	ks, seeds := len(sp.Ks), sp.Seeds
+	out := make([]dynamics.Cell, 0, end-start)
+	for i := start; i < end; i++ {
+		out = append(out, dynamics.Cell{
+			Alpha: sp.Alphas[i/(ks*seeds)],
+			K:     sp.Ks[(i/seeds)%ks],
+			Seed:  int64(i % seeds),
+		})
+	}
+	return out
+}
+
 // Config builds the dynamics configuration for this job (α and k are
 // filled per cell by the sweep runner).
 func (sp Spec) Config() dynamics.Config {
@@ -179,6 +213,7 @@ func (sp Spec) Config() dynamics.Config {
 	cfg := dynamics.DefaultConfig(v, 0, 0)
 	cfg.MaxRounds = sp.MaxRounds
 	cfg.CycleCheckAfter = sp.CycleCheckAfter
+	cfg.CollectPerRound = sp.Trajectories
 	return cfg
 }
 

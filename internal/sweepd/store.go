@@ -1,6 +1,8 @@
 package sweepd
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -48,6 +50,151 @@ func (st *Store) SpecPath(id string) string { return st.specPath(id) }
 // ResultsPath returns the job's checkpoint file path.
 func (st *Store) ResultsPath(id string) string {
 	return filepath.Join(st.jobDir(id), "results.jsonl")
+}
+
+// TrajectoryPath returns the job's per-round trajectory sidecar path
+// (only written for specs with Trajectories set).
+func (st *Store) TrajectoryPath(id string) string {
+	return filepath.Join(st.jobDir(id), "trajectory.jsonl")
+}
+
+// TrajectoryAppender opens the job's trajectory sidecar for streaming
+// appends, repairing any torn tail first so a fresh line never merges
+// into a torn one. Callers resuming a job run ReconcileTrajectories
+// before this (which already truncates past the common prefix, torn
+// tails included) — the repair here is the writer's cheap backstop, an
+// O(tail-chunk) backwards scan.
+func (st *Store) TrajectoryAppender(id string) (*ncgio.CheckpointWriter, error) {
+	path := st.TrajectoryPath(id)
+	if err := ncgio.RepairTail(path); err != nil {
+		return nil, err
+	}
+	return ncgio.NewCheckpointWriter(path)
+}
+
+// ReconcileTrajectories truncates a trajectory job's checkpoint AND
+// sidecar back to their longest common cell-prefix before a resume. The
+// runner appends both files in the same canonical cell order (sidecar
+// line first), so after a clean run they list identical cell sequences;
+// any divergence is crash damage — a process killed between the two
+// appends leaves one surplus sidecar record, and a power loss can
+// persist either file's tail without the other's (the two files fsync
+// independently). Truncating both to the agreed prefix is always safe:
+// per-cell determinism recomputes the dropped tail byte-identically,
+// whereas a checkpointed cell whose sidecar record was lost could never
+// regenerate it (resume skips checkpointed cells). Missing files are
+// empty prefixes. Only the job's own runner may call this (truncation
+// races a live writer).
+func (st *Store) ReconcileTrajectories(id string) error {
+	ckWalk, err := openRecordWalker(st.ResultsPath(id))
+	if err != nil {
+		return err
+	}
+	defer ckWalk.close()
+	trWalk, err := openRecordWalker(st.TrajectoryPath(id))
+	if err != nil {
+		return err
+	}
+	defer trWalk.close()
+
+	// Walk both record streams in lockstep to the longest common cell
+	// prefix; both files stream through fixed-size buffers (resume-sized
+	// checkpoints carry full network states and must not be slurped
+	// twice — LoadResults follows right after).
+	for {
+		ckLine, ckOK := ckWalk.next()
+		trLine, trOK := trWalk.next()
+		if !ckOK || !trOK {
+			break
+		}
+		rec, err := ncgio.UnmarshalCellResult(ckLine)
+		if err != nil {
+			break // torn/corrupt checkpoint tail; drop it and the rest
+		}
+		trec, err := ncgio.UnmarshalTrajectory(trLine)
+		if err != nil || trec.Cell() != rec.Cell {
+			break
+		}
+		ckWalk.commit()
+		trWalk.commit()
+	}
+	if err := ckWalk.truncate(); err != nil {
+		return err
+	}
+	return trWalk.truncate()
+}
+
+// recordWalker streams one checkpoint-format file's non-blank lines,
+// tracking the byte offset of the last committed (agreed-prefix) record
+// so the file can be truncated back to it without ever holding more
+// than a buffer in memory. A missing file walks as empty.
+type recordWalker struct {
+	path      string
+	f         *os.File
+	br        *bufio.Reader
+	size      int64
+	off       int64 // bytes consumed from the reader
+	committed int64 // end of the agreed prefix
+}
+
+func openRecordWalker(path string) (*recordWalker, error) {
+	w := &recordWalker{path: path}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return w, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sweepd: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweepd: %w", err)
+	}
+	w.f, w.size = f, fi.Size()
+	w.br = bufio.NewReaderSize(f, 64*1024)
+	return w, nil
+}
+
+// next returns the next non-blank line (without its newline); ok=false
+// at EOF or a torn (newline-less) tail.
+func (w *recordWalker) next() ([]byte, bool) {
+	if w.br == nil {
+		return nil, false
+	}
+	for {
+		line, err := w.br.ReadBytes('\n')
+		if err != nil {
+			return nil, false // EOF or torn tail: nothing provably whole
+		}
+		w.off += int64(len(line))
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			continue
+		}
+		return trimmed, true
+	}
+}
+
+// commit marks everything consumed so far as part of the agreed prefix.
+func (w *recordWalker) commit() { w.committed = w.off }
+
+// truncate cuts the file back to the agreed prefix (no-op when nothing
+// follows it, or the file never existed).
+func (w *recordWalker) truncate() error {
+	if w.f == nil || w.committed >= w.size {
+		return nil
+	}
+	if err := os.Truncate(w.path, w.committed); err != nil {
+		return fmt.Errorf("sweepd: reconciling trajectories: %w", err)
+	}
+	return nil
+}
+
+func (w *recordWalker) close() {
+	if w.f != nil {
+		w.f.Close()
+	}
 }
 
 // CreateJob persists a normalized, validated spec under its content
