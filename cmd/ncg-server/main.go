@@ -7,6 +7,7 @@
 //	ncg-server -addr :8080 -data ./sweepd-data [-workers 0] [-cache 65536] [-cache-dir DIR]
 //	           [-job-ttl 24h] [-gc-interval 1m] [-max-jobs 4096] [-rate 0]
 //	           [-peers URL,URL,...] [-peer-lease 64] [-peer-ttl 45s] [-peer-rate 0]
+//	           [-advertise URL] [-probe-interval 5s] [-peer-backoff-max 2m]
 //
 // Clustering: every daemon serves POST /peer/leases, computing contiguous
 // cell ranges for remote leaders on its own worker pool (lease work draws
@@ -17,6 +18,17 @@
 // keeps results byte-identical with 0, 1, or N peers and across peer
 // loss. -peer-rate rate-limits the /peer/* class separately from
 // interactive traffic.
+//
+// Membership is live: -peers is only the seed list. A background loop
+// probes every known peer's GET /healthz each -probe-interval, demotes
+// failing peers (alive → suspect → down) so jobs lease to alive peers
+// only, and backs off down peers exponentially (capped at
+// -peer-backoff-max, with jitter) so a flapping machine stops eating
+// lease attempts until a probe readmits it. A daemon booted with
+// -advertise announces its own URL to its seeds via POST /peer/hello and
+// pulls their member tables from GET /peer/members (one-hop gossip), so
+// it joins a running cluster — and starts receiving leases — without any
+// restart of the existing daemons.
 //
 // The daemon bounds its own growth: done/failed jobs are garbage-
 // collected -job-ttl after they finish (directory, cache spill files,
@@ -52,7 +64,9 @@
 //	                            spill files, summary state)
 //	POST   /peer/leases         compute a cell range for a peer daemon
 //	                            (the follower half of -peers sharding)
-//	GET    /healthz             liveness + cache stats
+//	POST   /peer/hello          a booting daemon announces its -advertise URL
+//	GET    /peer/members        this daemon's member table (url + state)
+//	GET    /healthz             liveness + cache + cluster stats
 //	GET    /metrics             Prometheus text-format counters
 package main
 
@@ -61,6 +75,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -70,20 +85,15 @@ import (
 	"time"
 
 	"repro/internal/sweepd"
+	"repro/internal/sweepd/cluster"
 	"repro/internal/sweepd/shard"
 )
 
-// splitPeers parses the -peers flag, dropping empty segments and
-// trailing slashes so "http://a:1,,http://b:2/" works as expected.
+// splitPeers parses the -peers flag: empty segments and trailing slashes
+// are dropped and duplicates collapse, so "http://a:1,,http://a:1/"
+// yields one peer, not two lease streams against the same daemon.
 func splitPeers(s string) []string {
-	var out []string
-	for _, p := range strings.Split(s, ",") {
-		p = strings.TrimSuffix(strings.TrimSpace(p), "/")
-		if p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
+	return sweepd.NormalizePeerURLs(strings.Split(s, ","))
 }
 
 func main() {
@@ -97,10 +107,13 @@ func main() {
 		gcInterval = flag.Duration("gc-interval", time.Minute, "how often the GC pass runs")
 		maxJobs    = flag.Int("max-jobs", 4096, "retained-job cap; submissions beyond it get 429 (0 = unlimited)")
 		rate       = flag.Float64("rate", 0, "per-endpoint-class request limit in req/s; beyond it 429 + Retry-After (0 = unlimited)")
-		peers      = flag.String("peers", "", "comma-separated peer daemon base URLs to shard sweeps across (e.g. http://10.0.0.2:8080)")
+		peers      = flag.String("peers", "", "comma-separated seed peer base URLs to shard sweeps across (e.g. http://10.0.0.2:8080)")
 		peerLease  = flag.Int("peer-lease", 64, "cells per peer lease (smaller = finer balancing, larger = less HTTP overhead)")
 		peerTTL    = flag.Duration("peer-ttl", 45*time.Second, "reclaim a lease whose stream goes silent for this long")
 		peerRate   = flag.Float64("peer-rate", 0, "request limit for the /peer/* endpoint class in req/s (0 = unlimited)")
+		advertise  = flag.String("advertise", "", "this daemon's own base URL, announced to seed peers so it joins their clusters live (e.g. http://10.0.0.3:8080)")
+		probeIvl   = flag.Duration("probe-interval", 5*time.Second, "peer health-probe cadence")
+		backoffMax = flag.Duration("peer-backoff-max", 2*time.Minute, "cap on the probe backoff for down peers")
 	)
 	flag.Parse()
 
@@ -123,11 +136,38 @@ func main() {
 	mgr := sweepd.NewManager(store, cache, *workers)
 	mgr.SetMaxJobs(*maxJobs)
 	cfg := sweepd.Config{ReadRate: *rate, MutateRate: *rate, PeerRate: *peerRate}
-	if urls := splitPeers(*peers); len(urls) > 0 {
-		pool := shard.New(urls, shard.Options{LeaseCells: *peerLease, LeaseTTL: *peerTTL})
-		mgr.SetExecutorProvider(pool)
-		cfg.PeerStats = pool.Stats
-		log.Printf("sharding sweeps across %d peer(s): %s", len(urls), strings.Join(urls, ", "))
+	// Every daemon runs a membership registry, even a bare one: it must
+	// accept POST /peer/hello so late-booting daemons can join a cluster
+	// this daemon anchors. Seeds (-peers) start alive; the probe loop
+	// demotes dead ones, backs off flapping ones, and learns newcomers
+	// from hellos and one-hop gossip.
+	seeds := splitPeers(*peers)
+	// Fail fast on malformed URLs: a typo'd -advertise would be 400-
+	// rejected by every seed forever (the daemon would silently never
+	// join), and a typo'd seed would be probed at the backoff cap for
+	// the life of the process.
+	if *advertise != "" && !sweepd.ValidPeerURL(sweepd.NormalizePeerURL(*advertise)) {
+		log.Fatalf("-advertise %q is not an absolute http(s) base URL (e.g. http://10.0.0.3:8080)", *advertise)
+	}
+	for _, s := range seeds {
+		if !sweepd.ValidPeerURL(s) {
+			log.Fatalf("-peers entry %q is not an absolute http(s) base URL", s)
+		}
+	}
+	registry := cluster.New(cluster.Options{
+		Self:          *advertise,
+		Seeds:         seeds,
+		ProbeInterval: *probeIvl,
+		BackoffMax:    *backoffMax,
+		Logf:          log.Printf,
+	})
+	pool := shard.NewFromSource(registry, shard.Options{LeaseCells: *peerLease, LeaseTTL: *peerTTL})
+	mgr.SetExecutorProvider(pool)
+	cfg.PeerStats = pool.Stats
+	cfg.Cluster = registry
+	if len(seeds) > 0 || *advertise != "" {
+		log.Printf("cluster membership: advertise=%q, %d seed peer(s): %s",
+			*advertise, len(seeds), strings.Join(seeds, ", "))
 	}
 	handler := sweepd.NewHandlerConfig(mgr, cfg)
 	if err := mgr.Resume(); err != nil {
@@ -136,12 +176,21 @@ func main() {
 	mgr.StartGC(*jobTTL, *gcInterval)
 
 	srv := &http.Server{Addr: *addr, Handler: handler}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	go func() {
 		log.Printf("ncg-server listening on %s (store %s)", *addr, *data)
-		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}
 	}()
+	// Announce only after the listener is accepting: a seed that learns
+	// this daemon from the hello may lease to it immediately, and a
+	// connection-refused there would demote the brand-new joiner before
+	// it ever served a cell.
+	registry.Start()
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -150,5 +199,6 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	srv.Shutdown(ctx) //nolint:errcheck
+	registry.Close()
 	mgr.Close()
 }

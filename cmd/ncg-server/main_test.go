@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+// TestSplitPeers pins the -peers flag parsing: empty segments vanish,
+// whitespace and trailing slashes are trimmed, and duplicate spellings
+// of one peer collapse to a single entry — two lease goroutines against
+// the same daemon would double-issue its work.
+func TestSplitPeers(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want []string
+	}{
+		{"empty flag", "", nil},
+		{"single", "http://a:1", []string{"http://a:1"}},
+		{"empty segments dropped", ",,http://a:1,,", []string{"http://a:1"}},
+		{"trailing slash trimmed", "http://a:1/,http://b:2//", []string{"http://a:1", "http://b:2"}},
+		{"whitespace trimmed", " http://a:1 , http://b:2", []string{"http://a:1", "http://b:2"}},
+		{"duplicates collapse", "http://a:1,http://a:1", []string{"http://a:1"}},
+		{"dup spellings collapse", "http://a:1,http://a:1/, http://a:1 ", []string{"http://a:1"}},
+		{"order preserved", "http://b:2,http://a:1,http://b:2/", []string{"http://b:2", "http://a:1"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := splitPeers(tc.in)
+			if len(got) != len(tc.want) {
+				t.Fatalf("splitPeers(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("splitPeers(%q) = %v, want %v", tc.in, got, tc.want)
+				}
+			}
+		})
+	}
+}

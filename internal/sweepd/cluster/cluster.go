@@ -1,0 +1,663 @@
+package cluster
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	mrand "math/rand/v2"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sweepd"
+)
+
+// jitterRand is the default jitter source (tests inject a fixed one).
+func jitterRand() float64 { return mrand.Float64() }
+
+// newInstanceID mints the registry's random per-process identity.
+func newInstanceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%016x", mrand.Uint64())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// State is a member's observed health.
+type State string
+
+const (
+	// StateAlive: the last probe (or hello) succeeded; the peer receives
+	// leases.
+	StateAlive State = "alive"
+	// StateSuspect: at least one probe (or a lease) failed but the peer
+	// has not yet crossed the down threshold; it is probed every cycle
+	// and excluded from new leases until a probe revives it.
+	StateSuspect State = "suspect"
+	// StateDown: DownAfter consecutive probes failed; the peer is probed
+	// on an exponential backoff with jitter so a flapping or dead machine
+	// stops eating probe (and lease) attempts.
+	StateDown State = "down"
+)
+
+// Options tunes a Registry. The zero value is production-ready for a
+// passive daemon (no self URL, no seeds).
+type Options struct {
+	// Self is this daemon's own advertise URL. When set, the registry
+	// announces it to every peer it successfully probes (once per
+	// aliveness epoch), so booting daemons join the cluster without any
+	// restart of the existing members. Empty means passive: the daemon
+	// probes and leases but never announces itself.
+	Self string
+	// Seeds are the initially known peers (the -peers flag). They start
+	// alive optimistically — exactly the old static-list behavior — and
+	// the probe loop demotes any that turn out dead.
+	Seeds []string
+	// ProbeInterval is the health-probe cadence (default 5s). Alive and
+	// suspect members are probed every interval; down members wait out
+	// their backoff first.
+	ProbeInterval time.Duration
+	// DownAfter is how many consecutive probe failures turn a suspect
+	// member down (default 3).
+	DownAfter int
+	// BackoffMax caps the down-member probe backoff (default 2m). The
+	// backoff starts at ProbeInterval and doubles per failed probe, with
+	// jitter in [backoff/2, backoff] so a cluster restarted in unison
+	// does not re-probe in lockstep.
+	BackoffMax time.Duration
+	// Client issues the probe, hello, and member-pull requests (default:
+	// a client with a bounded dial/TLS-handshake timeout and an overall
+	// request timeout of ProbeInterval — floored at 3s so an aggressive
+	// cadence never makes healthy loopback round-trips look dead — so
+	// one black-holed peer cannot stall probe cycles indefinitely).
+	Client *http.Client
+	// Logf, when set, receives membership diagnostics (state
+	// transitions, rejected URLs, hello failures) — wire it to
+	// log.Printf so a daemon that silently fails to join leaves a
+	// trail. Nil means silent.
+	Logf func(format string, args ...any)
+}
+
+// member is the registry's record of one peer.
+type member struct {
+	url   string
+	state State
+	// fails counts consecutive probe failures; reset by any success.
+	fails int
+	// backoff is the current down-state probe delay (0 until down).
+	backoff time.Duration
+	// next is the earliest time the probe loop will dial this member
+	// again. It gates DOWN members only (their backoff deadline); alive
+	// and suspect members are probed every cycle, so a cycle that runs
+	// long can never silently halve the probing cadence.
+	next time.Time
+	// lastSeen is the last successful contact (probe or hello).
+	lastSeen time.Time
+	// helloed records that we announced Self to this peer during its
+	// current aliveness epoch; cleared on any probe failure and whenever
+	// the peer's instance ID changes, so a restarted peer (which lost
+	// its member table) is re-announced even if it never missed a probe.
+	helloed bool
+	// lastHelloErr dedupes hello-failure diagnostics: a persistent
+	// rejection (bad advertise URL) is logged once, not every cycle.
+	lastHelloErr string
+	// instanceID is the peer's per-process identity as last observed by
+	// a successful probe ("" until then, or for non-sweepd endpoints).
+	instanceID string
+	// gen counts externally driven state changes (hello, lease-failure
+	// report). A probe cycle snapshots it before dialing and discards
+	// its result if it moved: a probe success collected moments before a
+	// peer died must not overwrite the lease failure that just demoted
+	// it.
+	gen uint64
+}
+
+// transport abstracts the three peer RPCs so the state-machine tests can
+// drive transitions without real HTTP.
+type transport interface {
+	// probe checks liveness (GET /healthz); err == nil means alive. The
+	// returned instance ID ("" if the endpoint serves none) identifies
+	// the process behind the URL.
+	probe(url string) (instanceID string, err error)
+	// hello announces self to url (POST /peer/hello); the response
+	// carries the receiver's member table, so a hello doubles as a
+	// gossip pull.
+	hello(url, self string) ([]string, error)
+	// members pulls url's member list (GET /peer/members).
+	members(url string) ([]string, error)
+}
+
+// Registry tracks live cluster membership: it probes every known peer's
+// /healthz on a background loop, applies exponential backoff to down
+// peers, learns new members from hellos and one-hop gossip (pulling
+// /peer/members from each alive peer), and announces Self to peers it
+// probes. It implements sweepd.Membership for the HTTP layer and
+// shard.PeerSource (AlivePeers / ReportLeaseFailure) for the lease pool.
+// A Registry is safe for concurrent use.
+type Registry struct {
+	opts  Options
+	probe transport
+
+	// now and randf are the clock and jitter source; tests inject fakes
+	// to drive transitions deterministically (the gcOnce pattern).
+	now   func() time.Time
+	randf func() float64
+
+	stop chan struct{}
+	done chan struct{}
+	// started/closed guard double Start/Close.
+	started bool
+	closed  bool
+
+	// instanceID is this process's random identity, served in
+	// ClusterStats so peers can tell "that URL is me" and "that peer
+	// restarted" apart from plain liveness.
+	instanceID string
+
+	mu      sync.Mutex
+	self    string
+	members map[string]*member
+	// selfURLs are URLs known to address this very daemon: the
+	// configured Self plus any URL whose probe answered with our own
+	// instance ID (a non-advertising daemon can learn its own URL from
+	// gossip). They are never registered as members — a daemon must not
+	// lease sweep work to itself over loopback HTTP.
+	selfURLs map[string]bool
+
+	probes        atomic.Uint64
+	probeFailures atomic.Uint64
+	backoffs      atomic.Uint64
+	readmissions  atomic.Uint64
+}
+
+// New builds a registry over the options; call Start to launch the probe
+// loop (tests drive probeOnce directly instead).
+func New(opts Options) *Registry {
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = 5 * time.Second
+	}
+	if opts.DownAfter <= 0 {
+		opts.DownAfter = 3
+	}
+	if opts.BackoffMax <= 0 {
+		opts.BackoffMax = 2 * time.Minute
+	}
+	if opts.BackoffMax < opts.ProbeInterval {
+		opts.BackoffMax = opts.ProbeInterval
+	}
+	if opts.Client == nil {
+		timeout := opts.ProbeInterval
+		if timeout < 3*time.Second {
+			timeout = 3 * time.Second
+		}
+		opts.Client = &http.Client{
+			Timeout: timeout,
+			Transport: &http.Transport{
+				Proxy: http.ProxyFromEnvironment,
+				DialContext: (&net.Dialer{
+					Timeout:   3 * time.Second,
+					KeepAlive: 30 * time.Second,
+				}).DialContext,
+				TLSHandshakeTimeout: 3 * time.Second,
+				MaxIdleConns:        16,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+	r := &Registry{
+		opts:       opts,
+		now:        time.Now,
+		randf:      jitterRand,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		instanceID: newInstanceID(),
+		self:       sweepd.NormalizePeerURL(opts.Self),
+		members:    make(map[string]*member),
+		selfURLs:   make(map[string]bool),
+	}
+	if r.self != "" {
+		r.selfURLs[r.self] = true
+	}
+	r.probe = &httpTransport{client: opts.Client}
+	for _, s := range sweepd.NormalizePeerURLs(opts.Seeds) {
+		if r.selfURLs[s] {
+			continue
+		}
+		if !sweepd.ValidPeerURL(s) {
+			// The same admission rule POST /peer/hello enforces: a typo'd
+			// seed must not enter the member table and spread cluster-wide
+			// by gossip with no pruning path.
+			r.logf("cluster: dropping invalid seed peer URL %q", s)
+			continue
+		}
+		// Seeds start alive and due immediately: the first probe cycle
+		// confirms them, and a job submitted before it behaves exactly
+		// like the old static -peers list.
+		r.members[s] = &member{url: s, state: StateAlive}
+	}
+	return r
+}
+
+// logf forwards diagnostics to the configured sink, if any.
+func (r *Registry) logf(format string, args ...any) {
+	if r.opts.Logf != nil {
+		r.opts.Logf(format, args...)
+	}
+}
+
+// SetSelf installs (or replaces) the advertise URL after construction —
+// test servers learn their URL only once listening. Call before Start.
+func (r *Registry) SetSelf(url string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.self = sweepd.NormalizePeerURL(url)
+	if r.self != "" {
+		r.selfURLs[r.self] = true
+	}
+	delete(r.members, r.self)
+}
+
+// Start launches the background probe loop: an immediate cycle (so seeds
+// are confirmed, Self announced, and member lists pulled right away),
+// then one cycle per ProbeInterval until Close.
+func (r *Registry) Start() {
+	r.mu.Lock()
+	if r.started {
+		r.mu.Unlock()
+		return
+	}
+	r.started = true
+	r.mu.Unlock()
+	go func() {
+		defer close(r.done)
+		ticker := time.NewTicker(r.opts.ProbeInterval)
+		defer ticker.Stop()
+		r.probeOnce()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-ticker.C:
+				r.probeOnce()
+			}
+		}
+	}()
+}
+
+// Close stops the probe loop and waits for the in-flight cycle to
+// drain. Safe to call more than once.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	started := r.started
+	r.mu.Unlock()
+	close(r.stop)
+	if started {
+		<-r.done
+	}
+}
+
+// Hello implements sweepd.Membership: a peer announced itself, so it is
+// demonstrably reachable — register it alive (reviving a down member)
+// and let the probe loop take it from there.
+func (r *Registry) Hello(advertiseURL string) {
+	url := sweepd.NormalizePeerURL(advertiseURL)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if url == "" || r.selfURLs[url] {
+		return
+	}
+	now := r.now()
+	m := r.members[url]
+	if m == nil {
+		m = &member{url: url}
+		r.members[url] = m
+		r.logf("cluster: peer %s joined via hello", url)
+	}
+	if m.state == StateDown {
+		r.readmissions.Add(1)
+		r.logf("cluster: peer %s down -> alive (re-hello)", url)
+	}
+	m.state = StateAlive
+	m.fails = 0
+	m.backoff = 0
+	m.lastSeen = now
+	m.next = now.Add(r.opts.ProbeInterval)
+	m.gen++
+}
+
+// Members implements sweepd.Membership: the known cluster, self first,
+// then peers sorted by URL.
+func (r *Registry) Members() []sweepd.MemberInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]sweepd.MemberInfo, 0, len(r.members)+1)
+	if r.self != "" {
+		out = append(out, sweepd.MemberInfo{URL: r.self, State: string(StateAlive), Self: true})
+	}
+	urls := make([]string, 0, len(r.members))
+	for u := range r.members {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	for _, u := range urls {
+		m := r.members[u]
+		out = append(out, sweepd.MemberInfo{URL: m.url, State: string(m.state), LastSeen: m.lastSeen})
+	}
+	return out
+}
+
+// ClusterStats implements sweepd.Membership.
+func (r *Registry) ClusterStats() sweepd.ClusterStats {
+	r.mu.Lock()
+	byState := map[string]int{string(StateAlive): 0, string(StateSuspect): 0, string(StateDown): 0}
+	for _, m := range r.members {
+		byState[string(m.state)]++
+	}
+	r.mu.Unlock()
+	return sweepd.ClusterStats{
+		InstanceID:     r.instanceID,
+		MembersByState: byState,
+		Probes:         r.probes.Load(),
+		ProbeFailures:  r.probeFailures.Load(),
+		Backoffs:       r.backoffs.Load(),
+		Readmissions:   r.readmissions.Load(),
+	}
+}
+
+// AlivePeers implements shard.PeerSource: the members currently safe to
+// lease to, sorted for deterministic fan-out.
+func (r *Registry) AlivePeers() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.members))
+	for u, m := range r.members {
+		if m.state == StateAlive {
+			out = append(out, u)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReportLeaseFailure implements the shard pool's failure feedback: a
+// lease against an alive peer failed, so demote it to suspect and probe
+// it promptly — subsequent jobs skip it until a probe revives it,
+// instead of each job rediscovering the corpse at lease-TTL cost.
+func (r *Registry) ReportLeaseFailure(url string) {
+	url = sweepd.NormalizePeerURL(url)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.members[url]
+	if m == nil || m.state != StateAlive {
+		return
+	}
+	m.state = StateSuspect
+	m.next = r.now() // due on the next cycle
+	m.helloed = false
+	m.gen++
+	r.logf("cluster: peer %s alive -> suspect (lease failed)", url)
+}
+
+// probeOnce runs one probe cycle: dial every due member's /healthz
+// concurrently, apply the state transitions, announce Self to newly
+// confirmed peers, and merge their member lists (one-hop gossip).
+func (r *Registry) probeOnce() {
+	now := r.now()
+	r.mu.Lock()
+	self := r.self
+	due := make([]*member, 0, len(r.members))
+	for _, m := range r.members {
+		// Alive and suspect members are probed every cycle; only down
+		// members wait out their backoff deadline. Gating the healthy
+		// ones on a timestamp set mid-cycle would silently skip every
+		// other tick.
+		if m.state != StateDown || !m.next.After(now) {
+			due = append(due, m)
+		}
+	}
+	urls := make([]string, len(due))
+	needHello := make([]bool, len(due))
+	gens := make([]uint64, len(due))
+	for i, m := range due {
+		urls[i] = m.url
+		needHello[i] = self != "" && !m.helloed
+		gens[i] = m.gen
+	}
+	r.mu.Unlock()
+
+	type outcome struct {
+		ok       bool
+		id       string
+		helloed  bool
+		helloErr string
+		learned  []string
+	}
+	results := make([]outcome, len(due))
+	var wg sync.WaitGroup
+	for i := range due {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			url := urls[i]
+			r.probes.Add(1)
+			id, err := r.probe.probe(url)
+			if err != nil {
+				r.probeFailures.Add(1)
+				return
+			}
+			res := outcome{ok: true, id: id}
+			gossiped := false
+			if needHello[i] {
+				if list, herr := r.probe.hello(url, self); herr == nil {
+					// The hello response carries the member table, so a
+					// successful announcement doubles as this cycle's
+					// gossip pull.
+					res.helloed = true
+					res.learned = list
+					gossiped = true
+				} else {
+					res.helloErr = herr.Error()
+				}
+			}
+			if !gossiped {
+				if list, merr := r.probe.members(url); merr == nil {
+					res.learned = list
+				}
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+
+	now = r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, m := range due {
+		if m.gen != gens[i] {
+			// The member's state moved while this probe was in flight (a
+			// hello revived it, or a lease failure demoted it); the probe
+			// observed the old world, so its verdict is stale — drop it
+			// and let the next cycle re-decide.
+			continue
+		}
+		res := results[i]
+		if res.ok {
+			if res.id != "" && res.id == r.instanceID {
+				// The member answered with our own instance ID: it is this
+				// very daemon behind a URL we did not know was ours (a
+				// non-advertising daemon's URL travels back via gossip from
+				// the peers it seeds). Never lease to yourself — blacklist
+				// the URL and drop the member.
+				r.logf("cluster: %s is this daemon itself (instance %s); dropping", m.url, r.instanceID)
+				r.selfURLs[m.url] = true
+				delete(r.members, m.url)
+				continue
+			}
+			if m.instanceID != "" && res.id != m.instanceID {
+				// Same URL, new process: the peer restarted without
+				// missing a probe, so its member table (and our hello) is
+				// gone — re-announce next cycle.
+				m.helloed = false
+			}
+			m.instanceID = res.id
+			if m.state == StateDown {
+				r.readmissions.Add(1)
+			}
+			if m.state != StateAlive {
+				r.logf("cluster: peer %s %s -> alive", m.url, m.state)
+			}
+			m.state = StateAlive
+			m.fails = 0
+			m.backoff = 0
+			m.lastSeen = now
+			m.next = now.Add(r.opts.ProbeInterval)
+			if res.helloed {
+				m.helloed = true
+				m.lastHelloErr = ""
+			} else if res.helloErr != "" && res.helloErr != m.lastHelloErr {
+				// A refused announcement means this daemon may never join
+				// that peer's cluster (typically a bad -advertise URL);
+				// say so once per distinct error, not once per cycle.
+				r.logf("cluster: hello to %s rejected: %s", m.url, res.helloErr)
+				m.lastHelloErr = res.helloErr
+			}
+			for _, u := range sweepd.NormalizePeerURLs(res.learned) {
+				if r.selfURLs[u] || r.members[u] != nil {
+					continue
+				}
+				if !sweepd.ValidPeerURL(u) {
+					r.logf("cluster: ignoring invalid gossiped peer URL %q from %s", u, m.url)
+					continue
+				}
+				// Gossip-learned members start suspect: secondhand news is
+				// verified by a probe (due immediately) before any lease
+				// rides on it.
+				r.members[u] = &member{url: u, state: StateSuspect}
+			}
+			continue
+		}
+		m.fails++
+		// Any failure invalidates our standing announcement: if the peer
+		// is restarting right now, the new process will not know us.
+		m.helloed = false
+		if m.fails < r.opts.DownAfter {
+			if m.state != StateSuspect {
+				r.logf("cluster: peer %s %s -> suspect (probe failed)", m.url, m.state)
+			}
+			m.state = StateSuspect
+			m.next = now.Add(r.opts.ProbeInterval)
+			continue
+		}
+		if m.state != StateDown {
+			r.logf("cluster: peer %s %s -> down after %d consecutive probe failures", m.url, m.state, m.fails)
+		}
+		m.state = StateDown
+		prev := m.backoff
+		if m.backoff == 0 {
+			m.backoff = r.opts.ProbeInterval
+		} else {
+			m.backoff *= 2
+		}
+		if m.backoff > r.opts.BackoffMax {
+			m.backoff = r.opts.BackoffMax
+		}
+		if m.backoff > prev {
+			// Count actual raises only: a permanently dead peer parked at
+			// the cap must not read as "flapping" on the backoff counter.
+			r.backoffs.Add(1)
+		}
+		// Jitter in [backoff/2, backoff]: flapping peers spread out
+		// instead of re-probing in lockstep.
+		jittered := m.backoff/2 + time.Duration(r.randf()*float64(m.backoff/2))
+		m.next = now.Add(jittered)
+	}
+}
+
+// httpTransport is the production transport over the sweepd HTTP API.
+type httpTransport struct {
+	client *http.Client
+}
+
+func (t *httpTransport) probe(url string) (string, error) {
+	resp, err := t.client.Get(url + "/healthz")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 64*1024)) //nolint:errcheck // drain for reuse
+		return "", fmt.Errorf("cluster: %s/healthz: %s", url, resp.Status)
+	}
+	// The instance ID rides in the healthz payload's cluster section; a
+	// daemon without one (or a non-sweepd endpoint) just probes as alive
+	// with no identity.
+	var payload struct {
+		Cluster struct {
+			InstanceID string `json:"instance_id"`
+		} `json:"cluster"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&payload); err != nil {
+		return "", nil //nolint:nilerr // a 200 with an odd body is still alive
+	}
+	return payload.Cluster.InstanceID, nil
+}
+
+func (t *httpTransport) hello(url, self string) ([]string, error) {
+	body, err := json.Marshal(sweepd.HelloRequest{AdvertiseURL: self})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := t.client.Post(url+"/peer/hello", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("cluster: %s/peer/hello: %s: %s", url, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	// The response is the receiver's member table — the announcer's
+	// first gossip pull.
+	var mr sweepd.MembersResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&mr); err != nil {
+		return nil, nil //nolint:nilerr // announced fine; just no table to merge
+	}
+	out := make([]string, 0, len(mr.Members))
+	for _, m := range mr.Members {
+		out = append(out, m.URL)
+	}
+	return out, nil
+}
+
+func (t *httpTransport) members(url string) ([]string, error) {
+	resp, err := t.client.Get(url + "/peer/members")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck // drain for reuse
+		return nil, fmt.Errorf("cluster: %s/peer/members: %s", url, resp.Status)
+	}
+	var mr sweepd.MembersResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&mr); err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(mr.Members))
+	for _, m := range mr.Members {
+		out = append(out, m.URL)
+	}
+	return out, nil
+}

@@ -1,0 +1,56 @@
+// Package cluster gives sweepd live membership: daemons join and leave a
+// running cluster without restarts, and flapping peers are backed off
+// instead of stalling every job's lease attempts.
+//
+// # Discovery
+//
+// A Registry starts from the operator's seed list (-peers) and then
+// learns the rest of the cluster on its own:
+//
+//   - A booting daemon started with -advertise announces itself with
+//     POST /peer/hello {advertise_url} to every peer it successfully
+//     probes (once per aliveness epoch). The receiver registers it as an
+//     alive member immediately — the announcer just proved it is
+//     reachable — so the very next job can lease to it.
+//   - Every daemon serves its member table at GET /peer/members, and
+//     every probe cycle pulls the table of each peer it confirmed alive.
+//     Newly learned URLs are one-hop gossip: they enter as suspect and a
+//     probe (due immediately) verifies them before any lease rides on
+//     them.
+//
+// Together these give eventual full-mesh knowledge with one round of
+// indirection: a joiner hellos one seed, the seed's table shows the
+// joiner to everyone who polls it, and the joiner's own pulls teach it
+// the members the seed already knew.
+//
+// Every registry also mints a random per-process instance ID, served in
+// /healthz's cluster section, which probes use for two checks a URL
+// alone cannot make: a member whose probe answers with our own ID is
+// this daemon itself under an unadvertised URL (gossip echoes a
+// non-advertising seed's URL back to it) — it is dropped and
+// blacklisted so a daemon never leases sweep work to itself — and a
+// member whose ID changed between successful probes restarted without
+// missing one, so Self is re-announced to the fresh process.
+//
+// # Health and backoff
+//
+// The probe loop dials each due member's GET /healthz every
+// ProbeInterval:
+//
+//	alive --(probe fails)--> suspect --(DownAfter consecutive
+//	fails)--> down --(probe succeeds)--> alive (readmission)
+//
+// Alive and suspect members are probed every cycle. Down members wait
+// out an exponential backoff first — starting at ProbeInterval, doubling
+// per failed probe, capped at BackoffMax, with jitter in [b/2, b] so a
+// flapping machine (or a whole cluster restarting in unison) does not
+// re-probe in lockstep. A lease failure against an alive peer demotes it
+// to suspect at once (shard.Pool reports it via ReportLeaseFailure), so
+// a peer that dies mid-sweep is skipped by subsequent jobs without each
+// one paying the lease TTL to rediscover the corpse.
+//
+// The lease pool consumes AlivePeers() — a per-job snapshot of the
+// alive members only — so membership changes never touch a job in
+// flight, and checkpoint byte-identity across join/leave holds exactly
+// as it does for the static peer list.
+package cluster

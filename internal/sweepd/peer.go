@@ -1,6 +1,12 @@
 package sweepd
 
-import "repro/internal/dynamics"
+import (
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/dynamics"
+)
 
 // LeaseRequest is the wire form of POST /peer/leases: a leader daemon
 // asks a peer to compute the contiguous cell range [Start, End) of the
@@ -21,7 +27,9 @@ type LeaseRequest struct {
 // /metrics and /healthz. The follower (server) side — leases and cells
 // served to remote leaders — is counted by the HTTP handler itself.
 type PeerStats struct {
-	// Peers is the number of configured peer daemons.
+	// Peers is the number of peers the pool would lease to right now:
+	// the alive members of the cluster registry when one is installed,
+	// or the full configured list for a static pool.
 	Peers int `json:"peers"`
 	// LeasesIssued counts lease attempts sent to peers; LeaseFailures
 	// counts the subset that failed (rejection, disconnect, heartbeat
@@ -30,6 +38,103 @@ type PeerStats struct {
 	LeaseFailures uint64 `json:"lease_failures"`
 	// RemoteCells counts cells whose results were computed by peers.
 	RemoteCells uint64 `json:"remote_cells"`
+}
+
+// NormalizePeerURL canonicalizes a peer base URL for use as a membership
+// key: surrounding whitespace and trailing slashes are stripped, so
+// "http://a:1" and " http://a:1/ " address the same peer (and never
+// produce "//peer/leases" request paths).
+func NormalizePeerURL(s string) string {
+	s = strings.TrimSpace(s)
+	for strings.HasSuffix(s, "/") {
+		s = strings.TrimSuffix(s, "/")
+	}
+	return s
+}
+
+// NormalizePeerURLs normalizes each URL, drops empties, and dedupes
+// while preserving first-seen order — the shared parsing step behind
+// -peers, shard.New, and the cluster registry, so no layer can spawn two
+// lease streams against one peer spelled two ways.
+func NormalizePeerURLs(urls []string) []string {
+	out := make([]string, 0, len(urls))
+	seen := make(map[string]bool, len(urls))
+	for _, u := range urls {
+		u = NormalizePeerURL(u)
+		if u == "" || seen[u] {
+			continue
+		}
+		seen[u] = true
+		out = append(out, u)
+	}
+	return out
+}
+
+// ValidPeerURL reports whether s is an absolute http(s) base URL — the
+// one admission rule every membership path (POST /peer/hello, -peers
+// seeds, gossip-learned URLs) applies, so a malformed URL can neither
+// enter a member table nor spread through the cluster by gossip.
+func ValidPeerURL(s string) bool {
+	u, err := url.Parse(s)
+	return err == nil && (u.Scheme == "http" || u.Scheme == "https") && u.Host != ""
+}
+
+// HelloRequest is the wire form of POST /peer/hello: a booting daemon
+// announces its own advertise URL to a seed peer, which registers it as
+// an alive member (and relays it to the rest of the cluster through
+// GET /peer/members, which every daemon polls on its probe cycle).
+type HelloRequest struct {
+	AdvertiseURL string `json:"advertise_url"`
+}
+
+// MemberInfo is one row of GET /peer/members: a member's advertise URL
+// and its observed health state ("alive", "suspect", or "down"). Self is
+// set on the serving daemon's own entry, which is listed first.
+type MemberInfo struct {
+	URL      string    `json:"url"`
+	State    string    `json:"state"`
+	Self     bool      `json:"self,omitempty"`
+	LastSeen time.Time `json:"last_seen,omitzero"`
+}
+
+// MembersResponse is the GET /peer/members (and POST /peer/hello
+// response) payload.
+type MembersResponse struct {
+	Members []MemberInfo `json:"members"`
+}
+
+// ClusterStats snapshots the membership layer for /healthz and /metrics.
+type ClusterStats struct {
+	// InstanceID is this daemon's random per-process identity. Probes
+	// read it from /healthz to detect two situations a URL alone cannot:
+	// a member that is actually this daemon under an unadvertised URL
+	// (never lease to yourself), and a peer that restarted without
+	// missing a probe (its member table is gone; re-announce to it).
+	InstanceID string `json:"instance_id,omitempty"`
+	// MembersByState counts known peers (self excluded) per health state;
+	// every state has an entry, possibly 0.
+	MembersByState map[string]int `json:"members_by_state"`
+	// Probes / ProbeFailures count health-probe attempts and the subset
+	// that failed. Backoffs counts the times a down peer's probe backoff
+	// was raised; Readmissions counts down peers revived by a successful
+	// probe (or a fresh hello).
+	Probes        uint64 `json:"probes"`
+	ProbeFailures uint64 `json:"probe_failures"`
+	Backoffs      uint64 `json:"backoffs"`
+	Readmissions  uint64 `json:"readmissions"`
+}
+
+// Membership is the cluster-membership surface the HTTP layer serves
+// (POST /peer/hello, GET /peer/members, /healthz, /metrics). It is
+// implemented by cluster.Registry; the interface lives here so sweepd
+// does not import its own subpackage.
+type Membership interface {
+	// Hello registers (or revives) a peer that announced itself.
+	Hello(advertiseURL string)
+	// Members snapshots the known cluster, self first.
+	Members() []MemberInfo
+	// ClusterStats snapshots the probe/backoff counters.
+	ClusterStats() ClusterStats
 }
 
 // ExecutorProvider supplies the compute backend for each job, letting the

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -218,6 +219,182 @@ func TestPeerLeaseHeartbeats(t *testing.T) {
 	}
 	if blanks < 2 { // the final newline accounts for one empty split
 		t.Fatalf("stream carried %d blank segments; expected heartbeats", blanks)
+	}
+}
+
+// fakeMembership records hellos and serves a canned member table —
+// the HTTP layer's view of cluster.Registry without the import cycle.
+type fakeMembership struct {
+	mu      sync.Mutex
+	hellos  []string
+	members []MemberInfo
+}
+
+func (f *fakeMembership) Hello(url string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hellos = append(f.hellos, url)
+}
+
+func (f *fakeMembership) Members() []MemberInfo {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]MemberInfo(nil), f.members...)
+}
+
+func (f *fakeMembership) ClusterStats() ClusterStats {
+	return ClusterStats{
+		MembersByState: map[string]int{"alive": len(f.members), "suspect": 0, "down": 0},
+		Probes:         7,
+	}
+}
+
+// TestPeerHelloAndMembers covers the membership endpoints: a valid hello
+// registers the announcer and returns the member table (the joiner's
+// first gossip pull), bad URLs are 400s that never reach the registry,
+// and /peer/members serves the table directly.
+func TestPeerHelloAndMembers(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(store, nil, 1)
+	defer mgr.Close()
+	fm := &fakeMembership{members: []MemberInfo{
+		{URL: "http://self:1", State: "alive", Self: true},
+		{URL: "http://a:1", State: "suspect"},
+	}}
+	srv := httptest.NewServer(NewHandlerConfig(mgr, Config{Cluster: fm}))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/peer/hello", "application/json",
+		strings.NewReader(`{"advertise_url":"http://joiner:9/"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mr MembersResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hello status = %d", resp.StatusCode)
+	}
+	if len(fm.hellos) != 1 || fm.hellos[0] != "http://joiner:9" {
+		t.Fatalf("registry saw hellos %v, want the normalized advertise URL", fm.hellos)
+	}
+	if len(mr.Members) != 2 || !mr.Members[0].Self {
+		t.Fatalf("hello response members = %+v", mr.Members)
+	}
+
+	for _, bad := range []string{
+		`{"advertise_url":""}`,
+		`{"advertise_url":"not a url"}`,
+		`{"advertise_url":"ftp://a:1"}`,
+		`{"advertise_url":"/just/a/path"}`,
+		`{not json`,
+		`{"advertise_url":"http://a:1","extra":true}`,
+	} {
+		resp, err := http.Post(srv.URL+"/peer/hello", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("hello %s: status = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	if len(fm.hellos) != 1 {
+		t.Fatalf("a rejected hello reached the registry: %v", fm.hellos)
+	}
+
+	resp, err = http.Get(srv.URL + "/peer/members")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mr2 MembersResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr2); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(mr2.Members) != 2 || mr2.Members[1].URL != "http://a:1" {
+		t.Fatalf("members = %+v", mr2.Members)
+	}
+
+	// The cluster section must surface in /healthz and /metrics.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(hb), `"cluster"`) {
+		t.Fatalf("healthz has no cluster section: %s", hb)
+	}
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`sweepd_cluster_members{state="alive"} 2`,
+		`sweepd_cluster_peer_state{peer="http://a:1",state="suspect"} 1`,
+		`sweepd_cluster_peer_state{peer="http://a:1",state="alive"} 0`,
+		"sweepd_cluster_probes_total 7",
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, mb)
+		}
+	}
+	if strings.Contains(string(mb), `peer="http://self:1"`) {
+		t.Fatal("metrics emitted a per-peer series for self")
+	}
+}
+
+// TestPeerMembershipDisabled: without a registry the membership
+// endpoints refuse with 503 — never a silent empty table.
+func TestPeerMembershipDisabled(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(store, nil, 1)
+	defer mgr.Close()
+	srv := httptest.NewServer(NewHandler(mgr))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/peer/hello", "application/json",
+		strings.NewReader(`{"advertise_url":"http://a:1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("hello status = %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/peer/members")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("members status = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestNormalizePeerURLs pins the shared URL hygiene all three layers
+// (-peers, shard.New, the registry) rely on.
+func TestNormalizePeerURLs(t *testing.T) {
+	got := NormalizePeerURLs([]string{" http://a:1/ ", "http://a:1", "", "http://b:2//", "http://a:1/"})
+	want := []string{"http://a:1", "http://b:2"}
+	if len(got) != len(want) {
+		t.Fatalf("NormalizePeerURLs = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("NormalizePeerURLs = %v, want %v", got, want)
+		}
 	}
 }
 

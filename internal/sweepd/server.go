@@ -43,6 +43,11 @@ type Config struct {
 	// (leases issued, remote cells, failures) into /metrics and /healthz;
 	// cmd/ncg-server wires it to the shard.Pool.
 	PeerStats func() PeerStats
+	// Cluster, when set, enables the membership endpoints (POST
+	// /peer/hello, GET /peer/members) and the per-peer state gauges;
+	// cmd/ncg-server wires it to the cluster.Registry. Nil means the
+	// membership endpoints answer 503.
+	Cluster Membership
 	// now is the rate limiter's clock; tests inject a fake.
 	now func() time.Time
 }
@@ -68,6 +73,8 @@ type handler struct {
 	leasesServed     atomic.Uint64
 	leaseCellsServed atomic.Uint64
 	peerStats        func() PeerStats
+	// cluster serves the membership endpoints (nil = not clustered).
+	cluster Membership
 
 	mu        sync.Mutex
 	summaries map[string]*summaryState
@@ -163,6 +170,10 @@ func (h *handler) rateLimit(next http.Handler) http.Handler {
 //	POST   /peer/leases         compute a contiguous cell range for a peer
 //	                            daemon, streaming canonical result lines back
 //	                            (the follower half of the sharding protocol)
+//	POST   /peer/hello          a booting daemon announces its advertise URL
+//	                            and is registered as an alive member
+//	GET    /peer/members        this daemon's member table (self first), the
+//	                            relay half of one-hop gossip
 //	GET    /healthz             liveness + job/cache counters
 //	GET    /metrics             Prometheus text-format counters
 func NewHandler(m *Manager) http.Handler {
@@ -200,6 +211,7 @@ func buildHandler(m *Manager, cfg Config) (*handler, http.Handler) {
 		mutateBucket:      newTokenBucket(cfg.MutateRate, cfg.now),
 		peerBucket:        newTokenBucket(cfg.PeerRate, cfg.now),
 		peerStats:         cfg.PeerStats,
+		cluster:           cfg.Cluster,
 		summaries:         make(map[string]*summaryState),
 	}
 	// Job GC must release the per-job summary state too, or the daemon
@@ -220,6 +232,8 @@ func buildHandler(m *Manager, cfg Config) (*handler, http.Handler) {
 	mux.HandleFunc("GET /sweeps/{id}/trajectories", h.trajectories)
 	mux.HandleFunc("DELETE /sweeps/{id}", h.cancel)
 	mux.HandleFunc("POST /peer/leases", h.peerLease)
+	mux.HandleFunc("POST /peer/hello", h.peerHello)
+	mux.HandleFunc("GET /peer/members", h.peerMembers)
 	return h, h.rateLimit(mux)
 }
 
@@ -241,7 +255,47 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 	if h.peerStats != nil {
 		payload["peers"] = h.peerStats()
 	}
+	if h.cluster != nil {
+		payload["cluster"] = h.cluster.ClusterStats()
+	}
 	writeJSON(w, http.StatusOK, payload)
+}
+
+// peerHello serves POST /peer/hello: a booting daemon announces its
+// advertise URL and is registered as an alive member at once (it just
+// proved it can reach us; the probe loop keeps it honest from here).
+// The response carries the member table, so a hello doubles as the
+// joiner's first gossip pull.
+func (h *handler) peerHello(w http.ResponseWriter, r *http.Request) {
+	if h.cluster == nil {
+		writeError(w, http.StatusServiceUnavailable, "cluster membership not enabled on this daemon")
+		return
+	}
+	var req HelloRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, 64*1024))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad hello JSON: "+err.Error())
+		return
+	}
+	adv := NormalizePeerURL(req.AdvertiseURL)
+	if !ValidPeerURL(adv) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("advertise_url %q is not an absolute http(s) base URL", req.AdvertiseURL))
+		return
+	}
+	h.cluster.Hello(adv)
+	writeJSON(w, http.StatusOK, MembersResponse{Members: h.cluster.Members()})
+}
+
+// peerMembers serves GET /peer/members: the member table, self first —
+// the relay half of one-hop gossip (peers poll it each probe cycle).
+func (h *handler) peerMembers(w http.ResponseWriter, r *http.Request) {
+	if h.cluster == nil {
+		writeError(w, http.StatusServiceUnavailable, "cluster membership not enabled on this daemon")
+		return
+	}
+	writeJSON(w, http.StatusOK, MembersResponse{Members: h.cluster.Members()})
 }
 
 func (h *handler) submit(w http.ResponseWriter, r *http.Request) {
@@ -805,6 +859,40 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP sweepd_peer_lease_failures_total Leases that failed and were reclaimed locally.\n")
 		fmt.Fprintf(w, "# TYPE sweepd_peer_lease_failures_total counter\n")
 		fmt.Fprintf(w, "sweepd_peer_lease_failures_total %d\n", ps.LeaseFailures)
+	}
+	if h.cluster != nil {
+		cl := h.cluster.ClusterStats()
+		fmt.Fprintf(w, "# HELP sweepd_cluster_members Known cluster members per health state (self excluded).\n")
+		fmt.Fprintf(w, "# TYPE sweepd_cluster_members gauge\n")
+		for _, state := range []string{"alive", "suspect", "down"} {
+			fmt.Fprintf(w, "sweepd_cluster_members{state=%q} %d\n", state, cl.MembersByState[state])
+		}
+		fmt.Fprintf(w, "# HELP sweepd_cluster_peer_state Per-peer membership state (1 = current state).\n")
+		fmt.Fprintf(w, "# TYPE sweepd_cluster_peer_state gauge\n")
+		for _, m := range h.cluster.Members() {
+			if m.Self {
+				continue
+			}
+			for _, state := range []string{"alive", "suspect", "down"} {
+				v := 0
+				if m.State == state {
+					v = 1
+				}
+				fmt.Fprintf(w, "sweepd_cluster_peer_state{peer=%q,state=%q} %d\n", m.URL, state, v)
+			}
+		}
+		fmt.Fprintf(w, "# HELP sweepd_cluster_probes_total Health probes sent to peers.\n")
+		fmt.Fprintf(w, "# TYPE sweepd_cluster_probes_total counter\n")
+		fmt.Fprintf(w, "sweepd_cluster_probes_total %d\n", cl.Probes)
+		fmt.Fprintf(w, "# HELP sweepd_cluster_probe_failures_total Health probes that failed.\n")
+		fmt.Fprintf(w, "# TYPE sweepd_cluster_probe_failures_total counter\n")
+		fmt.Fprintf(w, "sweepd_cluster_probe_failures_total %d\n", cl.ProbeFailures)
+		fmt.Fprintf(w, "# HELP sweepd_cluster_backoffs_total Times a down peer's probe backoff was raised.\n")
+		fmt.Fprintf(w, "# TYPE sweepd_cluster_backoffs_total counter\n")
+		fmt.Fprintf(w, "sweepd_cluster_backoffs_total %d\n", cl.Backoffs)
+		fmt.Fprintf(w, "# HELP sweepd_cluster_readmissions_total Down peers revived by a successful probe or hello.\n")
+		fmt.Fprintf(w, "# TYPE sweepd_cluster_readmissions_total counter\n")
+		fmt.Fprintf(w, "sweepd_cluster_readmissions_total %d\n", cl.Readmissions)
 	}
 	// Per-job cell wall-time histograms (locally computed cells only).
 	// Jobs with no observations are skipped, and evicted jobs drop their

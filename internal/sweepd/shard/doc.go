@@ -26,6 +26,19 @@
 // the peer goroutines pull ranges from one shared queue — natural load
 // balancing with zero planning: fast peers simply pull more leases.
 //
+// # Peer sources
+//
+// Which peers a job leases to comes from a PeerSource, snapshotted once
+// per job so membership changes never touch a job in flight. New wraps
+// a static -peers list (normalized and deduplicated); NewFromSource
+// accepts a live source — in production the cluster.Registry, whose
+// AlivePeers() excludes suspect and down members. When the source also
+// implements FailureReporter, every failed lease is reported back, so
+// the registry demotes the peer immediately and subsequent jobs skip it
+// until a health probe readmits it; a static source simply retries the
+// peer on the next job, the original behavior. See package cluster for
+// discovery (hello/gossip), health probing, and backoff.
+//
 // # Determinism
 //
 // Per-cell seeding derives each cell's RNG from the job's base seed and

@@ -7,8 +7,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,69 +30,128 @@ type Options struct {
 	// no bytes for this long is canceled and its remainder reclaimed
 	// locally (default 45s; followers heartbeat every ~15s).
 	LeaseTTL time.Duration
-	// Client issues the lease requests (default: a client with no
-	// overall timeout — leases are long-lived streams bounded by the
-	// TTL watchdog instead).
+	// DialTimeout bounds connection establishment (TCP dial and TLS
+	// handshake) of the default client (default 5s). Without it a
+	// black-holed peer — dropped SYNs, no RST — would stall every lease
+	// attempt for the full lease TTL before reclaim. Ignored when Client
+	// is set.
+	DialTimeout time.Duration
+	// Client issues the lease requests (default: a client with the
+	// bounded DialTimeout but no overall timeout — leases are long-lived
+	// streams whose liveness the TTL watchdog owns).
 	Client *http.Client
 }
+
+// PeerSource supplies the peers a job may lease to. The pool snapshots
+// it once per job, so membership changes never touch a job in flight.
+// cluster.Registry implements it (alive members only); a static -peers
+// list is wrapped by New.
+type PeerSource interface {
+	AlivePeers() []string
+}
+
+// FailureReporter is an optional PeerSource extension: when the source
+// implements it, the pool reports each peer whose lease failed, letting
+// a registry demote the peer immediately instead of every subsequent
+// job rediscovering the failure at lease-TTL cost.
+type FailureReporter interface {
+	ReportLeaseFailure(url string)
+}
+
+// staticPeers is the PeerSource for a fixed -peers list: always "alive",
+// exactly the pre-registry behavior.
+type staticPeers []string
+
+func (s staticPeers) AlivePeers() []string { return s }
 
 // Pool fans sweep work out to peer daemons. It implements
 // sweepd.ExecutorProvider; install it with Manager.SetExecutorProvider.
 // A Pool is safe for concurrent use by many jobs.
 type Pool struct {
-	peers []string
-	opts  Options
+	source PeerSource
+	opts   Options
 
 	leasesIssued  atomic.Uint64
 	leaseFailures atomic.Uint64
 	remoteCells   atomic.Uint64
 }
 
-// New builds a pool over the peers' base URLs (e.g.
-// "http://10.0.0.2:8080"). An empty peer list is valid: every job then
-// runs locally.
+// New builds a pool over a static list of peer base URLs (e.g.
+// "http://10.0.0.2:8080"). URLs are normalized (trailing slashes
+// stripped) and deduplicated, so programmatic callers get the same
+// hygiene as the -peers flag — "http://a:1" and "http://a:1/" never
+// spawn two lease goroutines against one peer. An empty peer list is
+// valid: every job then runs locally.
 func New(peers []string, opts Options) *Pool {
+	return NewFromSource(staticPeers(sweepd.NormalizePeerURLs(peers)), opts)
+}
+
+// NewFromSource builds a pool whose peers come from a live source —
+// usually a cluster.Registry — consulted afresh for each job.
+func NewFromSource(source PeerSource, opts Options) *Pool {
 	if opts.LeaseCells <= 0 {
 		opts.LeaseCells = 64
 	}
 	if opts.LeaseTTL <= 0 {
 		opts.LeaseTTL = 45 * time.Second
 	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
 	if opts.Client == nil {
-		opts.Client = &http.Client{}
+		opts.Client = &http.Client{Transport: &http.Transport{
+			Proxy: http.ProxyFromEnvironment,
+			DialContext: (&net.Dialer{
+				Timeout:   opts.DialTimeout,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			TLSHandshakeTimeout: opts.DialTimeout,
+			MaxIdleConns:        64,
+			IdleConnTimeout:     90 * time.Second,
+		}}
 	}
-	ps := make([]string, 0, len(peers))
-	for _, p := range peers {
-		if p != "" {
-			ps = append(ps, p)
-		}
-	}
-	return &Pool{peers: ps, opts: opts}
+	return &Pool{source: source, opts: opts}
 }
 
-// Stats snapshots the leader-side sharding counters.
+// Stats snapshots the leader-side sharding counters. Peers is the
+// number of peers the pool would lease to right now.
 func (p *Pool) Stats() sweepd.PeerStats {
 	return sweepd.PeerStats{
-		Peers:         len(p.peers),
+		Peers:         len(p.source.AlivePeers()),
 		LeasesIssued:  p.leasesIssued.Load(),
 		LeaseFailures: p.leaseFailures.Load(),
 		RemoteCells:   p.remoteCells.Load(),
 	}
 }
 
-// ExecutorFor implements sweepd.ExecutorProvider. It returns nil (run
-// locally) when no peers are configured or the spec opted into
-// trajectories, whose per-round data the lease wire codec cannot carry.
+// ExecutorFor implements sweepd.ExecutorProvider. It snapshots the
+// source's alive peers for this job and returns nil (run locally) when
+// none are alive or the spec opted into trajectories, whose per-round
+// data the lease wire codec cannot carry.
 func (p *Pool) ExecutorFor(sp sweepd.Spec, onRemote func(cells int)) dynamics.Executor {
-	if len(p.peers) == 0 || sp.Trajectories {
+	if sp.Trajectories {
 		return nil
 	}
-	return &executor{pool: p, spec: sp, onRemote: onRemote}
+	peers := p.source.AlivePeers()
+	if len(peers) == 0 {
+		return nil
+	}
+	return &executor{pool: p, peers: peers, spec: sp, onRemote: onRemote}
 }
 
-// executor shards one job's cells between the local pool and the peers.
+// reportFailure feeds a failed lease back to the peer source (when it
+// accepts feedback), so registries demote the peer for subsequent jobs.
+func (p *Pool) reportFailure(peer string) {
+	if fr, ok := p.source.(FailureReporter); ok {
+		fr.ReportLeaseFailure(peer)
+	}
+}
+
+// executor shards one job's cells between the local pool and the job's
+// snapshot of alive peers.
 type executor struct {
 	pool     *Pool
+	peers    []string
 	spec     sweepd.Spec
 	onRemote func(cells int)
 }
@@ -173,7 +234,7 @@ func (e *executor) Execute(ctx context.Context, req dynamics.ExecRequest) <-chan
 				local(cr.todo())
 			}
 		}()
-		for _, peer := range e.pool.peers {
+		for _, peer := range e.peers {
 			wg.Add(1)
 			go func(peer string) {
 				defer wg.Done()
@@ -185,11 +246,14 @@ func (e *executor) Execute(ctx context.Context, req dynamics.ExecRequest) <-chan
 							e.recordRemote(got)
 						}
 						// Reclaim the undelivered remainder locally, then
-						// retire this peer for the rest of the sweep (the
-						// next job probes it afresh). A sweep canceled
-						// outright is not a peer failure.
+						// retire this peer for the rest of the sweep and
+						// report it to the peer source, so a registry
+						// demotes it for subsequent jobs too (a static
+						// source just probes it afresh next job). A sweep
+						// canceled outright is not a peer failure.
 						if ctx.Err() == nil {
 							e.pool.leaseFailures.Add(1)
+							e.pool.reportFailure(peer)
 							local(cr.todo()[got:])
 						}
 						return
@@ -210,13 +274,17 @@ func (e *executor) recordRemote(cells int) {
 	}
 }
 
-// retryAfter reads a 429's Retry-After hint in seconds, clamped to
-// [100ms, max] (a zero or absent hint must not produce a busy-loop).
-func retryAfter(resp *http.Response, max time.Duration) time.Duration {
+// retryAfter reads a 429's Retry-After hint — RFC 7231 allows both
+// delta-seconds ("120") and an HTTP-date ("Wed, 21 Oct 2015 07:28:00
+// GMT") — clamped to [100ms, max]: a zero, past, absent, or malformed
+// hint must not produce a busy-loop, and no hint may outwait max.
+func retryAfter(resp *http.Response, now time.Time, max time.Duration) time.Duration {
 	wait := time.Second
-	if s := resp.Header.Get("Retry-After"); s != "" {
+	if s := strings.TrimSpace(resp.Header.Get("Retry-After")); s != "" {
 		if secs, err := strconv.Atoi(s); err == nil {
 			wait = time.Duration(secs) * time.Second
+		} else if at, err := http.ParseTime(s); err == nil {
+			wait = at.Sub(now)
 		}
 	}
 	if wait < 100*time.Millisecond {
@@ -263,7 +331,7 @@ func (e *executor) lease(ctx context.Context, peer string, cr cellRange, cells [
 		}
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck // drain for reuse
 		resp.Body.Close()
-		wait := retryAfter(resp, ttl)
+		wait := retryAfter(resp, time.Now(), ttl)
 		watchdog.Reset(wait + ttl)
 		select {
 		case <-time.After(wait):

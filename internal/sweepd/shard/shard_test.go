@@ -10,11 +10,13 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"slices"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/sweepd"
+	"repro/internal/sweepd/cluster"
 	"repro/internal/sweepd/shard"
 )
 
@@ -61,6 +63,44 @@ func newDaemon(t *testing.T, workers int) *daemon {
 		d.mgr.Close()
 	})
 	return d
+}
+
+// newClusterDaemon is newDaemon plus a live membership registry wired
+// into the HTTP surface: the daemon accepts POST /peer/hello, serves
+// GET /peer/members, probes its peers, and (when seeded) announces
+// itself — a full in-process ncg-server as far as clustering goes.
+func newClusterDaemon(t *testing.T, workers int, probeInterval time.Duration, seeds ...string) (*daemon, *cluster.Registry) {
+	t.Helper()
+	store, err := sweepd.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := sweepd.NewManager(store, sweepd.NewCache(4096), workers)
+	reg := cluster.New(cluster.Options{
+		Seeds:         seeds,
+		ProbeInterval: probeInterval,
+		DownAfter:     2,
+	})
+	h := sweepd.NewHandlerConfig(mgr, sweepd.Config{
+		PollInterval:      5 * time.Millisecond,
+		HeartbeatInterval: 20 * time.Millisecond,
+		Cluster:           reg,
+	})
+	d := &daemon{store: store, mgr: mgr}
+	d.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/peer/leases" {
+			d.leases.Add(1)
+		}
+		h.ServeHTTP(w, r)
+	}))
+	reg.SetSelf(d.srv.URL)
+	reg.Start()
+	t.Cleanup(func() {
+		reg.Close()
+		d.srv.Close()
+		d.mgr.Close()
+	})
+	return d, reg
 }
 
 func waitDone(t *testing.T, m *sweepd.Manager, id string) sweepd.Job {
@@ -307,6 +347,161 @@ func TestThrottledPeerIsRetriedNotRetired(t *testing.T) {
 	}
 	if throttled.Load() < 3 {
 		t.Fatalf("proxy saw %d lease attempts; retry path not exercised", throttled.Load())
+	}
+}
+
+// TestDaemonJoinsLiveCluster is the membership acceptance criterion: a
+// daemon booted after the cluster is already running sweeps announces
+// itself to one seed, appears in the leader's member table, receives
+// leases for the next job without any restart of the existing daemons,
+// learns the rest of the cluster by one-hop gossip — and every
+// checkpoint stays byte-identical to the lone-daemon runs.
+func TestDaemonJoinsLiveCluster(t *testing.T) {
+	sp1 := e2eSpec()
+	sp2 := e2eSpec()
+	sp2.N = 18 // a second, distinct job for the post-join phase
+	sp2.Normalize()
+	opts := shard.Options{LeaseCells: 1, LeaseTTL: 30 * time.Second}
+	ref1, _, _ := runSharded(t, sp1, opts)
+	ref2, _, _ := runSharded(t, sp2, opts)
+
+	probe := 20 * time.Millisecond
+	f1, _ := newClusterDaemon(t, 2, probe)
+	leader, leaderReg := newClusterDaemon(t, 4, probe, f1.srv.URL)
+	pool := shard.NewFromSource(leaderReg, opts)
+	leader.mgr.SetExecutorProvider(pool)
+
+	// Phase 1: the two-daemon cluster runs a sweep as usual.
+	job1, _, err := leader.mgr.Submit(sp1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, leader.mgr, job1.ID)
+	got1, err := os.ReadFile(leader.store.ResultsPath(job1.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got1, ref1) {
+		t.Fatalf("pre-join checkpoint differs from lone-daemon run (%d vs %d bytes)", len(got1), len(ref1))
+	}
+	if f1.leases.Load() == 0 {
+		t.Fatal("seeded follower served no leases")
+	}
+
+	// Phase 2: a third daemon boots with only the leader as its seed and
+	// announces itself — no existing daemon restarts.
+	joiner, joinerReg := newClusterDaemon(t, 2, probe, leader.srv.URL)
+	deadline := time.Now().Add(30 * time.Second)
+	for !slices.Contains(leaderReg.AlivePeers(), joiner.srv.URL) {
+		if time.Now().After(deadline) {
+			t.Fatalf("leader never registered the joiner; members = %+v", leaderReg.Members())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// One-hop gossip: the joiner pulls the leader's table and learns the
+	// original follower without ever being told about it.
+	for !slices.Contains(joinerReg.AlivePeers(), f1.srv.URL) {
+		if time.Now().After(deadline) {
+			t.Fatalf("joiner never learned the follower by gossip; members = %+v", joinerReg.Members())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Phase 3: the next job leases to the joiner.
+	job2, _, err := leader.mgr.Submit(sp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, leader.mgr, job2.ID)
+	got2, err := os.ReadFile(leader.store.ResultsPath(job2.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, ref2) {
+		t.Fatalf("post-join checkpoint differs from lone-daemon run (%d vs %d bytes)", len(got2), len(ref2))
+	}
+	if joiner.leases.Load() == 0 {
+		t.Fatal("joiner served no leases after joining the live cluster")
+	}
+}
+
+// TestDeadPeerSkippedBySubsequentJobs: a peer that dies mid-sweep is
+// retired for that job (reclaim, as before) AND — via the pool's
+// failure report to the registry — excluded from the next job's peer
+// snapshot entirely, so later jobs never stall on the corpse. Results
+// stay byte-identical throughout.
+func TestDeadPeerSkippedBySubsequentJobs(t *testing.T) {
+	sp1 := sweepd.Spec{
+		N:      20,
+		Alphas: []float64{0.3, 0.5, 1, 2, 5},
+		Ks:     []int{2, 3, 1000},
+		Seeds:  4, // 60 cells: long enough to kill mid-flight
+	}
+	sp1.Normalize()
+	sp2 := e2eSpec()
+	opts := shard.Options{LeaseCells: 2, LeaseTTL: 30 * time.Second}
+	ref1, _, _ := runSharded(t, sp1, opts)
+	ref2, _, _ := runSharded(t, sp2, opts)
+
+	peer := newDaemon(t, 1) // slow follower: leases outlive the kill window
+	leader := newDaemon(t, 4)
+	// The registry stays passive (Start is never called): seeds begin
+	// alive, so the only path that can demote the peer in this test is
+	// the pool's lease-failure report — exactly the mechanism under test.
+	reg := cluster.New(cluster.Options{
+		Seeds:         []string{peer.srv.URL},
+		ProbeInterval: time.Hour,
+		DownAfter:     2,
+	})
+	pool := shard.NewFromSource(reg, opts)
+	leader.mgr.SetExecutorProvider(pool)
+
+	job1, _, err := leader.mgr.Submit(sp1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for peer.leases.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("peer never received a lease")
+		}
+		if j, _ := leader.mgr.Get(job1.ID); j.Status == sweepd.StatusDone {
+			t.Skip("sweep outran the kill window; nothing to verify")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	peer.srv.CloseClientConnections()
+	peer.srv.Close()
+
+	waitDone(t, leader.mgr, job1.ID)
+	got1, err := os.ReadFile(leader.store.ResultsPath(job1.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got1, ref1) {
+		t.Fatalf("post-kill checkpoint differs from reference (%d vs %d bytes)", len(got1), len(ref1))
+	}
+	if slices.Contains(reg.AlivePeers(), peer.srv.URL) {
+		t.Fatalf("dead peer still alive in registry: %+v", reg.Members())
+	}
+
+	// The next job must not issue a single lease: its snapshot is empty,
+	// so it runs purely locally instead of stalling on the corpse.
+	issuedBefore := pool.Stats().LeasesIssued
+	job2, _, err := leader.mgr.Submit(sp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, leader.mgr, job2.ID)
+	if issued := pool.Stats().LeasesIssued; issued != issuedBefore {
+		t.Fatalf("job after peer death issued %d new leases", issued-issuedBefore)
+	}
+	got2, err := os.ReadFile(leader.store.ResultsPath(job2.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, ref2) {
+		t.Fatalf("post-death checkpoint differs from reference (%d vs %d bytes)", len(got2), len(ref2))
 	}
 }
 

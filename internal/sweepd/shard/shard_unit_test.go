@@ -1,0 +1,149 @@
+package shard
+
+// In-package unit tests for the lease plumbing: Retry-After parsing
+// (both RFC 7231 forms), peer-URL normalization and dedup in New, and
+// the default client's bounded connection establishment.
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dynamics"
+	"repro/internal/sweepd"
+)
+
+func respWithRetryAfter(v string) *http.Response {
+	h := http.Header{}
+	if v != "" {
+		h.Set("Retry-After", v)
+	}
+	return &http.Response{Header: h}
+}
+
+// TestRetryAfterForms covers both wire forms of Retry-After plus the
+// clamps: delta-seconds, HTTP-date (the form the old parser silently
+// dropped, falling back to 1s), and absent/garbage/past values.
+func TestRetryAfterForms(t *testing.T) {
+	now := time.Date(2026, 7, 28, 12, 0, 0, 0, time.UTC)
+	max := 30 * time.Second
+	cases := []struct {
+		name   string
+		header string
+		want   time.Duration
+	}{
+		{"absent defaults to 1s", "", time.Second},
+		{"delta seconds", "7", 7 * time.Second},
+		{"delta zero clamps up", "0", 100 * time.Millisecond},
+		{"delta beyond max clamps down", "3600", max},
+		{"http date", now.Add(5 * time.Second).UTC().Format(http.TimeFormat), 5 * time.Second},
+		{"http date beyond max clamps down", now.Add(10 * time.Minute).UTC().Format(http.TimeFormat), max},
+		{"http date in the past clamps up", now.Add(-time.Minute).UTC().Format(http.TimeFormat), 100 * time.Millisecond},
+		{"surrounding space tolerated", "  9  ", 9 * time.Second},
+		{"garbage defaults to 1s", "soon", time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := retryAfter(respWithRetryAfter(tc.header), now, max); got != tc.want {
+				t.Fatalf("retryAfter(%q) = %v, want %v", tc.header, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestNewNormalizesAndDedupes: programmatic construction gets the same
+// URL hygiene as the -peers flag — "http://a:1/" must not produce
+// "//peer/leases" paths, and one peer spelled two ways must not get two
+// lease goroutines.
+func TestNewNormalizesAndDedupes(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []string
+		want []string
+	}{
+		{"nil", nil, []string{}},
+		{"empties dropped", []string{"", "  "}, []string{}},
+		{"trailing slash trimmed", []string{"http://a:1/"}, []string{"http://a:1"}},
+		{"multiple slashes trimmed", []string{"http://a:1//"}, []string{"http://a:1"}},
+		{"whitespace trimmed", []string{" http://a:1 "}, []string{"http://a:1"}},
+		{"dup spellings collapse", []string{"http://a:1", "http://a:1/"}, []string{"http://a:1"}},
+		{"order preserved", []string{"http://b:2", "http://a:1", "http://b:2/"}, []string{"http://b:2", "http://a:1"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := New(tc.in, Options{})
+			got := p.source.AlivePeers()
+			if len(got) != len(tc.want) {
+				t.Fatalf("peers = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("peers = %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestDefaultClientBoundsDialing: a black-holed peer (non-routable
+// address, dropped SYNs) must fail a lease within the dial timeout
+// instead of stalling it until the lease TTL watchdog fires.
+func TestDefaultClientBoundsDialing(t *testing.T) {
+	sp := sweepd.Spec{N: 8, Alphas: []float64{1}, Ks: []int{2}, Seeds: 1}
+	sp.Normalize()
+	// 10.255.255.1 is a non-routable RFC 1918 address: SYNs go nowhere.
+	// Some sandboxes reject it instantly instead — also a fast failure,
+	// which is all this test asserts.
+	pool := New([]string{"http://10.255.255.1:9"}, Options{
+		DialTimeout: 100 * time.Millisecond,
+		LeaseTTL:    time.Hour, // the watchdog must NOT be what saves us
+	})
+	e := &executor{pool: pool, peers: pool.source.AlivePeers(), spec: sp}
+	send := func(dynamics.IndexedResult) bool { return true }
+
+	start := time.Now()
+	_, err := e.lease(context.Background(), "http://10.255.255.1:9", cellRange{0, 1}, sp.Cells(), send)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("lease against a black hole succeeded")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("lease took %v to fail; dial is not bounded", elapsed)
+	}
+}
+
+// TestDefaultClientHasTransportTimeouts pins the construction itself:
+// the default client must carry a bounded dialer, not http.Client{}'s
+// unbounded zero transport.
+func TestDefaultClientHasTransportTimeouts(t *testing.T) {
+	p := New(nil, Options{})
+	tr, ok := p.opts.Client.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("default client transport is %T, want *http.Transport", p.opts.Client.Transport)
+	}
+	if tr.TLSHandshakeTimeout <= 0 {
+		t.Fatal("TLS handshake timeout unset")
+	}
+	if tr.DialContext == nil {
+		t.Fatal("DialContext unset; dials are unbounded")
+	}
+	if p.opts.Client.Timeout != 0 {
+		t.Fatal("overall client timeout must stay unset — streams are bounded by the lease watchdog")
+	}
+}
+
+// TestLeasePathWellFormed: the executor builds "/peer/leases" requests
+// from normalized URLs (no "//peer/leases"), which a strict router would
+// 404.
+func TestLeasePathWellFormed(t *testing.T) {
+	p := New([]string{"http://a:1/"}, Options{})
+	peers := p.source.AlivePeers()
+	if len(peers) != 1 || strings.HasSuffix(peers[0], "/") {
+		t.Fatalf("normalized peers = %v", peers)
+	}
+	if got := peers[0] + "/peer/leases"; got != "http://a:1/peer/leases" {
+		t.Fatalf("lease URL = %q", got)
+	}
+}
