@@ -8,6 +8,7 @@
 //	           [-job-ttl 24h] [-gc-interval 1m] [-max-jobs 4096] [-rate 0]
 //	           [-peers URL,URL,...] [-peer-lease 64] [-peer-ttl 45s] [-peer-rate 0]
 //	           [-advertise URL] [-probe-interval 5s] [-peer-backoff-max 2m]
+//	           [-schedule] [-adopt-after 30s] [-tombstone-after 30m]
 //
 // Clustering: every daemon serves POST /peer/leases, computing contiguous
 // cell ranges for remote leaders on its own worker pool (lease work draws
@@ -28,7 +29,22 @@
 // -advertise announces its own URL to its seeds via POST /peer/hello and
 // pulls their member tables from GET /peer/members (one-hop gossip), so
 // it joins a running cluster — and starts receiving leases — without any
-// restart of the existing daemons.
+// restart of the existing daemons. A member down for -tombstone-after is
+// decommissioned: removed from the table under a gossiped tombstone so
+// hearsay cannot resurrect the URL (a fresh hello can; 0 disables).
+//
+// Scheduling (-schedule, on by default when clustered): the daemons form
+// one logical service. POST /sweeps to any member places the job on the
+// least-loaded alive member (queue depth, then busy workers, then
+// running jobs; ties stay local) by forwarding the spec over POST
+// /peer/jobs. Each leader heartbeats a per-job lease — spec, owner,
+// generation, progress — into the gossiped member state; when a leader
+// dies, the least-loaded survivor adopts its jobs after -adopt-after,
+// recovers what it can of the checkpoint from surviving members, and
+// resumes as the generation+1 leader. Deterministic per-cell seeding
+// makes the adopted run's output byte-identical to an uninterrupted
+// one, and the generation guard makes a revived ex-leader cede instead
+// of split-braining.
 //
 // The daemon bounds its own growth: done/failed jobs are garbage-
 // collected -job-ttl after they finish (directory, cache spill files,
@@ -65,7 +81,11 @@
 //	POST   /peer/leases         compute a cell range for a peer daemon
 //	                            (the follower half of -peers sharding)
 //	POST   /peer/hello          a booting daemon announces its -advertise URL
-//	GET    /peer/members        this daemon's member table (url + state)
+//	GET    /peer/members        this daemon's member table (url + state),
+//	                            plus job leases and tombstones
+//	POST   /peer/jobs           run a forwarded sweep locally (the receiving
+//	                            half of -schedule placement)
+//	POST   /peer/jobs/claim     an adopter announces a job's new lease
 //	GET    /healthz             liveness + cache + cluster stats
 //	GET    /metrics             Prometheus text-format counters
 package main
@@ -86,6 +106,7 @@ import (
 
 	"repro/internal/sweepd"
 	"repro/internal/sweepd/cluster"
+	"repro/internal/sweepd/sched"
 	"repro/internal/sweepd/shard"
 )
 
@@ -114,6 +135,9 @@ func main() {
 		advertise  = flag.String("advertise", "", "this daemon's own base URL, announced to seed peers so it joins their clusters live (e.g. http://10.0.0.3:8080)")
 		probeIvl   = flag.Duration("probe-interval", 5*time.Second, "peer health-probe cadence")
 		backoffMax = flag.Duration("peer-backoff-max", 2*time.Minute, "cap on the probe backoff for down peers")
+		schedule   = flag.Bool("schedule", true, "place submitted sweeps on the least-loaded alive member and adopt jobs whose leader dies")
+		adoptAfter = flag.Duration("adopt-after", 30*time.Second, "adopt a job whose leader's lease has gone stale for this long")
+		tombAfter  = flag.Duration("tombstone-after", 30*time.Minute, "decommission a member down this long: drop it under a gossiped tombstone (0 disables)")
 	)
 	flag.Parse()
 
@@ -155,16 +179,32 @@ func main() {
 		}
 	}
 	registry := cluster.New(cluster.Options{
-		Self:          *advertise,
-		Seeds:         seeds,
-		ProbeInterval: *probeIvl,
-		BackoffMax:    *backoffMax,
-		Logf:          log.Printf,
+		Self:           *advertise,
+		Seeds:          seeds,
+		ProbeInterval:  *probeIvl,
+		BackoffMax:     *backoffMax,
+		TombstoneAfter: *tombAfter,
+		SelfLoad:       mgr.Load,
+		Logf:           log.Printf,
 	})
 	pool := shard.NewFromSource(registry, shard.Options{LeaseCells: *peerLease, LeaseTTL: *peerTTL})
 	mgr.SetExecutorProvider(pool)
 	cfg.PeerStats = pool.Stats
 	cfg.Cluster = registry
+	var scheduler *sched.Scheduler
+	if *schedule {
+		scheduler, err = sched.New(sched.Options{
+			Cluster:    registry,
+			Manager:    mgr,
+			AdoptAfter: *adoptAfter,
+			Logf:       log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Sched = scheduler
+		cfg.SchedStats = scheduler.Stats
+	}
 	if len(seeds) > 0 || *advertise != "" {
 		log.Printf("cluster membership: advertise=%q, %d seed peer(s): %s",
 			*advertise, len(seeds), strings.Join(seeds, ", "))
@@ -191,6 +231,9 @@ func main() {
 	// connection-refused there would demote the brand-new joiner before
 	// it ever served a cell.
 	registry.Start()
+	if scheduler != nil {
+		scheduler.Start()
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -199,6 +242,9 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	srv.Shutdown(ctx) //nolint:errcheck
+	if scheduler != nil {
+		scheduler.Close()
+	}
 	registry.Close()
 	mgr.Close()
 }

@@ -83,6 +83,22 @@ type Options struct {
 	// log.Printf so a daemon that silently fails to join leaves a
 	// trail. Nil means silent.
 	Logf func(format string, args ...any)
+	// SelfLoad, when set, supplies this daemon's own capacity snapshot
+	// for Members() (gossip readers see the serving daemon's load without
+	// probing it); cmd/ncg-server wires it to Manager.Load.
+	SelfLoad func() sweepd.LoadInfo
+	// TombstoneAfter decommissions members that stay down continuously
+	// for this long: the member is dropped and a tombstone with the same
+	// TTL is gossiped, so the whole cluster stops probing the dead URL
+	// (and the scheduler can never place a job on it). 0 disables
+	// tombstoning — down members are probed at the backoff cap forever.
+	TombstoneAfter time.Duration
+	// LeaseExpiry drops job leases that an alive owner stopped
+	// refreshing (job finished elsewhere and the DropLease never
+	// reached us, or the owner's scheduler died). Leases whose owner is
+	// down or gone are deliberately kept — they are what adoption feeds
+	// on. Default 6× ProbeInterval.
+	LeaseExpiry time.Duration
 }
 
 // member is the registry's record of one peer.
@@ -117,21 +133,38 @@ type member struct {
 	// peer died must not overwrite the lease failure that just demoted
 	// it.
 	gen uint64
+	// load is the member's last-probed capacity snapshot; hasLoad marks
+	// whether any probe has seen one (the scheduler skips members of
+	// unknown capacity rather than treating them as idle).
+	load    sweepd.LoadInfo
+	hasLoad bool
+	// downSince is when the member entered down (zero otherwise); it
+	// feeds the tombstone clock.
+	downSince time.Time
+}
+
+// probeReply is what a successful health probe learns about a peer: its
+// per-process identity and (when the endpoint serves one) its capacity
+// snapshot.
+type probeReply struct {
+	instanceID string
+	load       *sweepd.LoadInfo
 }
 
 // transport abstracts the three peer RPCs so the state-machine tests can
 // drive transitions without real HTTP.
 type transport interface {
 	// probe checks liveness (GET /healthz); err == nil means alive. The
-	// returned instance ID ("" if the endpoint serves none) identifies
-	// the process behind the URL.
-	probe(url string) (instanceID string, err error)
+	// reply's instance ID ("" if the endpoint serves none) identifies
+	// the process behind the URL; its load is the peer's capacity
+	// snapshot (nil if the endpoint serves none).
+	probe(url string) (probeReply, error)
 	// hello announces self to url (POST /peer/hello); the response
-	// carries the receiver's member table, so a hello doubles as a
-	// gossip pull.
-	hello(url, self string) ([]string, error)
-	// members pulls url's member list (GET /peer/members).
-	members(url string) ([]string, error)
+	// carries the receiver's full gossip payload (members, leases,
+	// tombstones), so a hello doubles as a gossip pull.
+	hello(url, self string) (*sweepd.MembersResponse, error)
+	// members pulls url's gossip payload (GET /peer/members).
+	members(url string) (*sweepd.MembersResponse, error)
 }
 
 // Registry tracks live cluster membership: it probes every known peer's
@@ -170,11 +203,24 @@ type Registry struct {
 	// gossip). They are never registered as members — a daemon must not
 	// lease sweep work to itself over loopback HTTP.
 	selfURLs map[string]bool
+	// leases is the job-leadership table, keyed by job ID, merged from
+	// local heartbeats, claim posts, and gossip under the generation
+	// guard. seen (not the lease's own Updated stamp) feeds staleness.
+	leases map[string]*leaseRec
+	// tombs maps decommissioned URLs to their tombstone expiry.
+	tombs map[string]time.Time
 
 	probes        atomic.Uint64
 	probeFailures atomic.Uint64
 	backoffs      atomic.Uint64
 	readmissions  atomic.Uint64
+	tombstoned    atomic.Uint64
+}
+
+// leaseRec wraps a stored lease with its local receipt time.
+type leaseRec struct {
+	lease sweepd.JobLease
+	seen  time.Time
 }
 
 // New builds a registry over the options; call Start to launch the probe
@@ -211,6 +257,9 @@ func New(opts Options) *Registry {
 			},
 		}
 	}
+	if opts.LeaseExpiry <= 0 {
+		opts.LeaseExpiry = 6 * opts.ProbeInterval
+	}
 	r := &Registry{
 		opts:       opts,
 		now:        time.Now,
@@ -221,6 +270,8 @@ func New(opts Options) *Registry {
 		self:       sweepd.NormalizePeerURL(opts.Self),
 		members:    make(map[string]*member),
 		selfURLs:   make(map[string]bool),
+		leases:     make(map[string]*leaseRec),
+		tombs:      make(map[string]time.Time),
 	}
 	if r.self != "" {
 		r.selfURLs[r.self] = true
@@ -319,6 +370,11 @@ func (r *Registry) Hello(advertiseURL string) {
 		return
 	}
 	now := r.now()
+	if _, dead := r.tombs[url]; dead {
+		// The URL just proved reachability; its decommission is void.
+		delete(r.tombs, url)
+		r.logf("cluster: tombstone on %s lifted by hello", url)
+	}
 	m := r.members[url]
 	if m == nil {
 		m = &member{url: url}
@@ -338,13 +394,20 @@ func (r *Registry) Hello(advertiseURL string) {
 }
 
 // Members implements sweepd.Membership: the known cluster, self first,
-// then peers sorted by URL.
+// then peers sorted by URL. Each row carries the member's last-probed
+// load (self's comes live from SelfLoad), so the member table doubles
+// as the cluster's capacity map.
 func (r *Registry) Members() []sweepd.MemberInfo {
+	var selfLoad *sweepd.LoadInfo
+	if r.opts.SelfLoad != nil {
+		l := r.opts.SelfLoad()
+		selfLoad = &l
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]sweepd.MemberInfo, 0, len(r.members)+1)
 	if r.self != "" {
-		out = append(out, sweepd.MemberInfo{URL: r.self, State: string(StateAlive), Self: true})
+		out = append(out, sweepd.MemberInfo{URL: r.self, State: string(StateAlive), Self: true, Load: selfLoad})
 	}
 	urls := make([]string, 0, len(r.members))
 	for u := range r.members {
@@ -353,8 +416,109 @@ func (r *Registry) Members() []sweepd.MemberInfo {
 	sort.Strings(urls)
 	for _, u := range urls {
 		m := r.members[u]
-		out = append(out, sweepd.MemberInfo{URL: m.url, State: string(m.state), LastSeen: m.lastSeen})
+		mi := sweepd.MemberInfo{URL: m.url, State: string(m.state), LastSeen: m.lastSeen}
+		if m.hasLoad {
+			l := m.load
+			mi.Load = &l
+		}
+		out = append(out, mi)
 	}
+	return out
+}
+
+// Self reports this daemon's advertise URL ("" when not advertising).
+func (r *Registry) Self() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.self
+}
+
+// AliveLoads snapshots the alive members whose capacity is known,
+// sorted by URL — the scheduler's placement candidates. Members no
+// probe has load-sampled yet are excluded rather than treated as idle.
+func (r *Registry) AliveLoads() []sweepd.MemberLoad {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]sweepd.MemberLoad, 0, len(r.members))
+	for u, m := range r.members {
+		if m.state == StateAlive && m.hasLoad {
+			out = append(out, sweepd.MemberLoad{URL: u, Load: m.load})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// UpdateLease implements sweepd.LeaseTable: record or refresh a job
+// lease under the generation guard. The update wins when the job is
+// unknown, the generation is strictly higher, or — at equal generation
+// — the owner is unchanged (a heartbeat refresh) or lexicographically
+// smaller (the deterministic tie-break two concurrent adopters
+// converge on). Everything else is a stale claim and is rejected.
+func (r *Registry) UpdateLease(l sweepd.JobLease) bool {
+	if l.JobID == "" || l.Owner == "" || l.Generation == 0 {
+		return false
+	}
+	l.Owner = sweepd.NormalizePeerURL(l.Owner)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.updateLeaseLocked(l)
+}
+
+func (r *Registry) updateLeaseLocked(l sweepd.JobLease) bool {
+	cur := r.leases[l.JobID]
+	switch {
+	case cur == nil:
+	case l.Generation > cur.lease.Generation:
+	case l.Generation == cur.lease.Generation && l.Owner == cur.lease.Owner:
+	case l.Generation == cur.lease.Generation && l.Owner < cur.lease.Owner:
+		r.logf("cluster: job %s generation %d tie broken %s -> %s", l.JobID, l.Generation, cur.lease.Owner, l.Owner)
+	default:
+		return false
+	}
+	now := r.now()
+	l.Updated = now
+	r.leases[l.JobID] = &leaseRec{lease: l, seen: now}
+	return true
+}
+
+// DropLease implements sweepd.LeaseTable: the job finished (or its
+// leader released it), so remove the lease unless a higher generation
+// has already claimed it.
+func (r *Registry) DropLease(jobID string, gen uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cur := r.leases[jobID]; cur != nil && cur.lease.Generation <= gen {
+		delete(r.leases, jobID)
+	}
+}
+
+// Leases implements sweepd.LeaseTable: the lease table sorted by job
+// ID, each lease's Updated stamp being this registry's local receipt
+// time (never a remote clock).
+func (r *Registry) Leases() []sweepd.JobLease {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]sweepd.JobLease, 0, len(r.leases))
+	for _, rec := range r.leases {
+		l := rec.lease
+		l.Updated = rec.seen
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
+	return out
+}
+
+// Tombstones implements sweepd.LeaseTable: active tombstones sorted by
+// URL.
+func (r *Registry) Tombstones() []sweepd.Tombstone {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]sweepd.Tombstone, 0, len(r.tombs))
+	for u, until := range r.tombs {
+		out = append(out, sweepd.Tombstone{URL: u, Until: until})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
 	return out
 }
 
@@ -365,6 +529,8 @@ func (r *Registry) ClusterStats() sweepd.ClusterStats {
 	for _, m := range r.members {
 		byState[string(m.state)]++
 	}
+	tombs := len(r.tombs)
+	leases := len(r.leases)
 	r.mu.Unlock()
 	return sweepd.ClusterStats{
 		InstanceID:     r.instanceID,
@@ -373,6 +539,9 @@ func (r *Registry) ClusterStats() sweepd.ClusterStats {
 		ProbeFailures:  r.probeFailures.Load(),
 		Backoffs:       r.backoffs.Load(),
 		Readmissions:   r.readmissions.Load(),
+		Tombstones:     tombs,
+		Tombstoned:     r.tombstoned.Load(),
+		Leases:         leases,
 	}
 }
 
@@ -440,9 +609,10 @@ func (r *Registry) probeOnce() {
 	type outcome struct {
 		ok       bool
 		id       string
+		load     *sweepd.LoadInfo
 		helloed  bool
 		helloErr string
-		learned  []string
+		learned  *sweepd.MembersResponse
 	}
 	results := make([]outcome, len(due))
 	var wg sync.WaitGroup
@@ -452,28 +622,28 @@ func (r *Registry) probeOnce() {
 			defer wg.Done()
 			url := urls[i]
 			r.probes.Add(1)
-			id, err := r.probe.probe(url)
+			reply, err := r.probe.probe(url)
 			if err != nil {
 				r.probeFailures.Add(1)
 				return
 			}
-			res := outcome{ok: true, id: id}
+			res := outcome{ok: true, id: reply.instanceID, load: reply.load}
 			gossiped := false
 			if needHello[i] {
-				if list, herr := r.probe.hello(url, self); herr == nil {
-					// The hello response carries the member table, so a
+				if mr, herr := r.probe.hello(url, self); herr == nil {
+					// The hello response carries the gossip payload, so a
 					// successful announcement doubles as this cycle's
 					// gossip pull.
 					res.helloed = true
-					res.learned = list
+					res.learned = mr
 					gossiped = true
 				} else {
 					res.helloErr = herr.Error()
 				}
 			}
 			if !gossiped {
-				if list, merr := r.probe.members(url); merr == nil {
-					res.learned = list
+				if mr, merr := r.probe.members(url); merr == nil {
+					res.learned = mr
 				}
 			}
 			results[i] = res
@@ -512,6 +682,10 @@ func (r *Registry) probeOnce() {
 				m.helloed = false
 			}
 			m.instanceID = res.id
+			if res.load != nil {
+				m.load = *res.load
+				m.hasLoad = true
+			}
 			if m.state == StateDown {
 				r.readmissions.Add(1)
 			}
@@ -521,6 +695,7 @@ func (r *Registry) probeOnce() {
 			m.state = StateAlive
 			m.fails = 0
 			m.backoff = 0
+			m.downSince = time.Time{}
 			m.lastSeen = now
 			m.next = now.Add(r.opts.ProbeInterval)
 			if res.helloed {
@@ -533,18 +708,8 @@ func (r *Registry) probeOnce() {
 				r.logf("cluster: hello to %s rejected: %s", m.url, res.helloErr)
 				m.lastHelloErr = res.helloErr
 			}
-			for _, u := range sweepd.NormalizePeerURLs(res.learned) {
-				if r.selfURLs[u] || r.members[u] != nil {
-					continue
-				}
-				if !sweepd.ValidPeerURL(u) {
-					r.logf("cluster: ignoring invalid gossiped peer URL %q from %s", u, m.url)
-					continue
-				}
-				// Gossip-learned members start suspect: secondhand news is
-				// verified by a probe (due immediately) before any lease
-				// rides on it.
-				r.members[u] = &member{url: u, state: StateSuspect}
+			if res.learned != nil {
+				r.mergeGossipLocked(m.url, res.learned, now)
 			}
 			continue
 		}
@@ -562,6 +727,7 @@ func (r *Registry) probeOnce() {
 		}
 		if m.state != StateDown {
 			r.logf("cluster: peer %s %s -> down after %d consecutive probe failures", m.url, m.state, m.fails)
+			m.downSince = now
 		}
 		m.state = StateDown
 		prev := m.backoff
@@ -583,6 +749,134 @@ func (r *Registry) probeOnce() {
 		jittered := m.backoff/2 + time.Duration(r.randf()*float64(m.backoff/2))
 		m.next = now.Add(jittered)
 	}
+	r.maintainLocked(now)
+}
+
+// mergeGossipLocked folds one peer's gossip payload into local state:
+// unknown member URLs join as suspect, job leases merge under the
+// generation guard (with the pulled peer authoritative for its own
+// leases), and tombstones decommission members we cannot vouch for
+// firsthand. Caller holds r.mu; from is the peer the payload came from.
+func (r *Registry) mergeGossipLocked(from string, mr *sweepd.MembersResponse, now time.Time) {
+	for _, mi := range mr.Members {
+		u := sweepd.NormalizePeerURL(mi.URL)
+		if u == "" || r.selfURLs[u] || r.members[u] != nil {
+			continue
+		}
+		if _, dead := r.tombs[u]; dead {
+			// Decommissioned: gossip alone must not resurrect the URL (a
+			// hello or our own probe of a live process will).
+			continue
+		}
+		if !sweepd.ValidPeerURL(u) {
+			r.logf("cluster: ignoring invalid gossiped peer URL %q from %s", u, from)
+			continue
+		}
+		// Gossip-learned members start suspect: secondhand news is
+		// verified by a probe (due immediately) before any lease rides
+		// on it. Their gossiped load rides along so the first placement
+		// after promotion does not wait another probe cycle.
+		m := &member{url: u, state: StateSuspect}
+		if mi.Load != nil {
+			m.load = *mi.Load
+			m.hasLoad = true
+		}
+		r.members[u] = m
+	}
+
+	// The pulled peer is authoritative for its own leases: merge what it
+	// lists, then drop any lease it owns that it stopped listing (its
+	// job finished and our copy is the leftover).
+	fromOwns := make(map[string]bool)
+	for _, l := range mr.Leases {
+		l.Owner = sweepd.NormalizePeerURL(l.Owner)
+		if l.JobID == "" || l.Owner == "" || l.Generation == 0 {
+			continue
+		}
+		if l.Owner == r.self {
+			// Our own leases are heartbeat firsthand by the scheduler; a
+			// gossip echo must not refresh a lease whose local owner died.
+			continue
+		}
+		if l.Owner == from {
+			fromOwns[l.JobID] = true
+		} else if cur := r.leases[l.JobID]; cur != nil &&
+			cur.lease.Generation == l.Generation && cur.lease.Owner == l.Owner {
+			// Hearsay must not refresh a lease we already hold: only the
+			// owner itself vouches for its leader being alive (a pull from
+			// the owner, or its claim broadcast). Otherwise two survivors
+			// echoing a dead leader's lease at each other would keep it
+			// forever fresh and no one would ever adopt the job.
+			continue
+		}
+		r.updateLeaseLocked(l)
+	}
+	for id, rec := range r.leases {
+		if rec.lease.Owner == from && !fromOwns[id] {
+			delete(r.leases, id)
+		}
+	}
+
+	for _, ts := range mr.Tombstones {
+		u := sweepd.NormalizePeerURL(ts.URL)
+		if u == "" || r.selfURLs[u] || !ts.Until.After(now) {
+			continue
+		}
+		if m := r.members[u]; m != nil && m.state == StateAlive {
+			// Firsthand liveness beats a secondhand death certificate; our
+			// next probe cycle's hello will lift the tombstone at source.
+			continue
+		}
+		if cur, ok := r.tombs[u]; !ok || ts.Until.After(cur) {
+			if !ok {
+				r.logf("cluster: peer %s decommissioned by gossiped tombstone", u)
+			}
+			r.tombs[u] = ts.Until
+		}
+		delete(r.members, u)
+	}
+}
+
+// maintainLocked runs the per-cycle housekeeping: decommission members
+// that have been down past TombstoneAfter, expire tombstones, and drop
+// leases an alive owner stopped refreshing. Caller holds r.mu.
+func (r *Registry) maintainLocked(now time.Time) {
+	if ta := r.opts.TombstoneAfter; ta > 0 {
+		for u, m := range r.members {
+			if m.state != StateDown {
+				continue
+			}
+			if m.downSince.IsZero() {
+				m.downSince = now
+				continue
+			}
+			if now.Sub(m.downSince) >= ta {
+				delete(r.members, u)
+				r.tombs[u] = now.Add(ta)
+				r.tombstoned.Add(1)
+				r.logf("cluster: peer %s down for %v; decommissioned (tombstone until %v)", u, now.Sub(m.downSince), now.Add(ta))
+			}
+		}
+	}
+	for u, until := range r.tombs {
+		if !until.After(now) {
+			delete(r.tombs, u)
+		}
+	}
+	for id, rec := range r.leases {
+		owner := rec.lease.Owner
+		ownerPresent := owner == r.self
+		if m := r.members[owner]; m != nil && m.state != StateDown {
+			ownerPresent = true
+		}
+		// A lease whose owner is down or gone is exactly what adoption
+		// feeds on — only leases an apparently healthy owner stopped
+		// refreshing are garbage.
+		if ownerPresent && now.Sub(rec.seen) >= r.opts.LeaseExpiry {
+			delete(r.leases, id)
+			r.logf("cluster: lease on job %s by %s expired unrefreshed", id, owner)
+		}
+	}
 }
 
 // httpTransport is the production transport over the sweepd HTTP API.
@@ -590,31 +884,32 @@ type httpTransport struct {
 	client *http.Client
 }
 
-func (t *httpTransport) probe(url string) (string, error) {
+func (t *httpTransport) probe(url string) (probeReply, error) {
 	resp, err := t.client.Get(url + "/healthz")
 	if err != nil {
-		return "", err
+		return probeReply{}, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 64*1024)) //nolint:errcheck // drain for reuse
-		return "", fmt.Errorf("cluster: %s/healthz: %s", url, resp.Status)
+		return probeReply{}, fmt.Errorf("cluster: %s/healthz: %s", url, resp.Status)
 	}
-	// The instance ID rides in the healthz payload's cluster section; a
-	// daemon without one (or a non-sweepd endpoint) just probes as alive
-	// with no identity.
+	// The instance ID and load snapshot ride in the healthz payload; a
+	// daemon without them (or a non-sweepd endpoint) just probes as
+	// alive with no identity and unknown capacity.
 	var payload struct {
 		Cluster struct {
 			InstanceID string `json:"instance_id"`
 		} `json:"cluster"`
+		Load *sweepd.LoadInfo `json:"load"`
 	}
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&payload); err != nil {
-		return "", nil //nolint:nilerr // a 200 with an odd body is still alive
+		return probeReply{}, nil //nolint:nilerr // a 200 with an odd body is still alive
 	}
-	return payload.Cluster.InstanceID, nil
+	return probeReply{instanceID: payload.Cluster.InstanceID, load: payload.Load}, nil
 }
 
-func (t *httpTransport) hello(url, self string) ([]string, error) {
+func (t *httpTransport) hello(url, self string) (*sweepd.MembersResponse, error) {
 	body, err := json.Marshal(sweepd.HelloRequest{AdvertiseURL: self})
 	if err != nil {
 		return nil, err
@@ -628,20 +923,16 @@ func (t *httpTransport) hello(url, self string) ([]string, error) {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return nil, fmt.Errorf("cluster: %s/peer/hello: %s: %s", url, resp.Status, strings.TrimSpace(string(msg)))
 	}
-	// The response is the receiver's member table — the announcer's
+	// The response is the receiver's gossip payload — the announcer's
 	// first gossip pull.
 	var mr sweepd.MembersResponse
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&mr); err != nil {
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&mr); err != nil {
 		return nil, nil //nolint:nilerr // announced fine; just no table to merge
 	}
-	out := make([]string, 0, len(mr.Members))
-	for _, m := range mr.Members {
-		out = append(out, m.URL)
-	}
-	return out, nil
+	return &mr, nil
 }
 
-func (t *httpTransport) members(url string) ([]string, error) {
+func (t *httpTransport) members(url string) (*sweepd.MembersResponse, error) {
 	resp, err := t.client.Get(url + "/peer/members")
 	if err != nil {
 		return nil, err
@@ -652,12 +943,8 @@ func (t *httpTransport) members(url string) ([]string, error) {
 		return nil, fmt.Errorf("cluster: %s/peer/members: %s", url, resp.Status)
 	}
 	var mr sweepd.MembersResponse
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&mr); err != nil {
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&mr); err != nil {
 		return nil, err
 	}
-	out := make([]string, 0, len(mr.Members))
-	for _, m := range mr.Members {
-		out = append(out, m.URL)
-	}
-	return out, nil
+	return &mr, nil
 }

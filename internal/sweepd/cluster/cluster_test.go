@@ -16,12 +16,16 @@ import (
 	"repro/internal/sweepd"
 )
 
-// fakeTransport scripts peer reachability, identities, and member lists.
+// fakeTransport scripts peer reachability, identities, loads, and
+// gossip payloads (member lists plus optional leases/tombstones).
 type fakeTransport struct {
 	mu      sync.Mutex
 	up      map[string]bool
 	ids     map[string]string
+	loads   map[string]*sweepd.LoadInfo
 	lists   map[string][]string
+	leases  map[string][]sweepd.JobLease
+	tombs   map[string][]sweepd.Tombstone
 	hellos  []string
 	probed  map[string]int
 	helloOK bool
@@ -31,7 +35,10 @@ func newFakeTransport(up ...string) *fakeTransport {
 	t := &fakeTransport{
 		up:      make(map[string]bool),
 		ids:     make(map[string]string),
+		loads:   make(map[string]*sweepd.LoadInfo),
 		lists:   make(map[string][]string),
+		leases:  make(map[string][]sweepd.JobLease),
+		tombs:   make(map[string][]sweepd.Tombstone),
 		probed:  make(map[string]int),
 		helloOK: true,
 	}
@@ -53,31 +60,50 @@ func (t *fakeTransport) setID(url, id string) {
 	t.ids[url] = id
 }
 
-func (t *fakeTransport) probe(url string) (string, error) {
+func (t *fakeTransport) setLoad(url string, l sweepd.LoadInfo) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.loads[url] = &l
+}
+
+func (t *fakeTransport) probe(url string) (probeReply, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.probed[url]++
 	if t.up[url] {
-		return t.ids[url], nil
+		return probeReply{instanceID: t.ids[url], load: t.loads[url]}, nil
 	}
-	return "", errors.New("unreachable")
+	return probeReply{}, errors.New("unreachable")
 }
 
-func (t *fakeTransport) hello(url, self string) ([]string, error) {
+// payload assembles url's gossip payload the way the real endpoint
+// would. Caller holds t.mu.
+func (t *fakeTransport) payload(url string) *sweepd.MembersResponse {
+	mr := &sweepd.MembersResponse{
+		Leases:     t.leases[url],
+		Tombstones: t.tombs[url],
+	}
+	for _, u := range t.lists[url] {
+		mr.Members = append(mr.Members, sweepd.MemberInfo{URL: u, State: "alive"})
+	}
+	return mr
+}
+
+func (t *fakeTransport) hello(url, self string) (*sweepd.MembersResponse, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.hellos = append(t.hellos, fmt.Sprintf("%s<-%s", url, self))
 	if !t.helloOK {
 		return nil, errors.New("hello refused")
 	}
-	// Like the real endpoint, a hello answers with the member table.
-	return t.lists[url], nil
+	// Like the real endpoint, a hello answers with the gossip payload.
+	return t.payload(url), nil
 }
 
-func (t *fakeTransport) members(url string) ([]string, error) {
+func (t *fakeTransport) members(url string) (*sweepd.MembersResponse, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.lists[url], nil
+	return t.payload(url), nil
 }
 
 func (t *fakeTransport) probeCount(url string) int {
@@ -502,10 +528,10 @@ type probeHook struct {
 	after func()
 }
 
-func (p probeHook) probe(url string) (string, error) {
-	id, err := p.transport.probe(url)
+func (p probeHook) probe(url string) (probeReply, error) {
+	reply, err := p.transport.probe(url)
 	p.after()
-	return id, err
+	return reply, err
 }
 
 // TestSelfLearnedByGossipIsDropped: a non-advertising daemon's own URL
@@ -656,5 +682,340 @@ func TestStartStopLifecycle(t *testing.T) {
 	time.Sleep(30 * time.Millisecond)
 	if tr.probeCount(peerA) != n {
 		t.Fatal("probe loop survived Close")
+	}
+}
+
+// TestProbeCachesLoadForPlacement: a probe's load snapshot is cached
+// per member and surfaces through AliveLoads (placement candidates)
+// and the Members gossip rows; members never load-sampled are excluded
+// from AliveLoads rather than treated as idle, and the self row
+// carries the live SelfLoad callback.
+func TestProbeCachesLoadForPlacement(t *testing.T) {
+	b := "http://b:2"
+	tr := newFakeTransport(peerA, b)
+	tr.setLoad(peerA, sweepd.LoadInfo{QueueDepth: 2, BusyWorkers: 1})
+	r, _ := testRegistry(Options{
+		Self:          "http://self:1",
+		Seeds:         []string{peerA, b},
+		ProbeInterval: 10 * time.Second,
+		SelfLoad:      func() sweepd.LoadInfo { return sweepd.LoadInfo{QueueDepth: 7} },
+	}, tr)
+	r.probeOnce()
+	loads := r.AliveLoads()
+	if len(loads) != 1 || loads[0].URL != peerA || loads[0].Load.QueueDepth != 2 {
+		t.Fatalf("AliveLoads = %+v, want only the load-sampled peer", loads)
+	}
+	for _, m := range r.Members() {
+		switch {
+		case m.Self:
+			if m.Load == nil || m.Load.QueueDepth != 7 {
+				t.Fatalf("self row load = %+v, want the live SelfLoad", m.Load)
+			}
+		case m.URL == peerA:
+			if m.Load == nil || m.Load.QueueDepth != 2 {
+				t.Fatalf("probed peer row load = %+v", m.Load)
+			}
+		case m.URL == b:
+			if m.Load != nil {
+				t.Fatalf("never-sampled peer advertises load %+v", m.Load)
+			}
+		}
+	}
+}
+
+// TestUpdateLeaseGenerationGuard pins the split-brain rule: higher
+// generation always wins, equal generation only refreshes the same
+// owner or tie-breaks to the smaller URL, everything else is stale.
+func TestUpdateLeaseGenerationGuard(t *testing.T) {
+	tr := newFakeTransport()
+	r, now := testRegistry(Options{ProbeInterval: 10 * time.Second}, tr)
+	put := func(id, owner string, gen uint64) bool {
+		return r.UpdateLease(sweepd.JobLease{JobID: id, Owner: owner, Generation: gen})
+	}
+	if !put("j1", "http://b:2", 1) {
+		t.Fatal("fresh lease rejected")
+	}
+	if !put("j1", "http://b:2", 1) {
+		t.Fatal("same-owner refresh rejected")
+	}
+	if put("j1", "http://c:3", 1) {
+		t.Fatal("equal generation, larger owner accepted")
+	}
+	if !put("j1", "http://a:1", 1) {
+		t.Fatal("equal-generation tie-break to the smaller owner rejected")
+	}
+	if put("j1", "http://z:9", 1) {
+		t.Fatal("tie-break loser accepted")
+	}
+	if !put("j1", "http://z:9", 2) {
+		t.Fatal("higher generation rejected")
+	}
+	if put("j1", "http://a:1", 1) {
+		t.Fatal("stale generation accepted")
+	}
+	if put("", "http://a:1", 1) || put("j2", "", 1) || put("j2", "http://a:1", 0) {
+		t.Fatal("invalid lease accepted")
+	}
+	ls := r.Leases()
+	if len(ls) != 1 || ls[0].Generation != 2 || !ls[0].Updated.Equal(*now) {
+		t.Fatalf("lease table = %+v, want one generation-2 lease stamped with local time", ls)
+	}
+	r.DropLease("j1", 1)
+	if len(r.Leases()) != 1 {
+		t.Fatal("stale-generation drop removed a newer lease")
+	}
+	r.DropLease("j1", 2)
+	if len(r.Leases()) != 0 {
+		t.Fatal("owner's drop did not remove the lease")
+	}
+}
+
+// TestGossipSpreadsAndWithdrawsLeases: a gossip pull merges the peer's
+// leases; the peer is authoritative for its own — a lease it stops
+// listing is withdrawn here too — but never for third parties'.
+func TestGossipSpreadsAndWithdrawsLeases(t *testing.T) {
+	seed := "http://seed:1"
+	third := "http://c:3"
+	tr := newFakeTransport(seed)
+	tr.lists[seed] = []string{seed}
+	tr.leases[seed] = []sweepd.JobLease{
+		{JobID: "j-own", Owner: seed, Generation: 1},
+		{JobID: "j-third", Owner: third, Generation: 1},
+	}
+	r, now := testRegistry(Options{
+		Self:          "http://self:9",
+		Seeds:         []string{seed},
+		ProbeInterval: 10 * time.Second,
+	}, tr)
+	r.probeOnce()
+	if got := len(r.Leases()); got != 2 {
+		t.Fatalf("leases after gossip pull = %d, want 2", got)
+	}
+	tr.mu.Lock()
+	tr.leases[seed] = nil // the seed's job finished
+	tr.mu.Unlock()
+	*now = now.Add(10 * time.Second)
+	r.probeOnce()
+	ls := r.Leases()
+	if len(ls) != 1 || ls[0].JobID != "j-third" {
+		t.Fatalf("leases after withdrawal = %+v, want only the third party's", ls)
+	}
+}
+
+// TestGossipEchoCannotRefreshSelfOwnedLease: our own leases are
+// heartbeat firsthand by the scheduler; when the scheduler stops (the
+// job died with it), an echo of the old lease arriving via gossip must
+// not keep it alive past LeaseExpiry.
+func TestGossipEchoCannotRefreshSelfOwnedLease(t *testing.T) {
+	seed := "http://seed:1"
+	self := "http://self:9"
+	tr := newFakeTransport(seed)
+	tr.lists[seed] = []string{seed}
+	tr.leases[seed] = []sweepd.JobLease{{JobID: "j", Owner: self, Generation: 1}}
+	r, now := testRegistry(Options{
+		Self:          self,
+		Seeds:         []string{seed},
+		ProbeInterval: 10 * time.Second,
+		LeaseExpiry:   30 * time.Second,
+	}, tr)
+	r.UpdateLease(sweepd.JobLease{JobID: "j", Owner: self, Generation: 1})
+	*now = now.Add(31 * time.Second)
+	r.probeOnce() // pulls the echo, then expires the lease
+	if ls := r.Leases(); len(ls) != 0 {
+		t.Fatalf("echoed self-owned lease survived expiry: %+v", ls)
+	}
+}
+
+// TestLeaseExpiryOnlyForHealthyOwners: a lease whose owner looks
+// healthy but stopped refreshing is garbage-collected; a lease whose
+// owner is down is adoption fuel and must be kept indefinitely.
+func TestLeaseExpiryOnlyForHealthyOwners(t *testing.T) {
+	tr := newFakeTransport() // peerA never reachable
+	r, now := testRegistry(Options{
+		Seeds:         []string{peerA},
+		ProbeInterval: 10 * time.Second,
+		DownAfter:     3,
+		LeaseExpiry:   30 * time.Second,
+	}, tr)
+	r.UpdateLease(sweepd.JobLease{JobID: "j1", Owner: peerA, Generation: 1})
+	r.probeOnce() // failure 1: suspect — still "apparently healthy"
+	*now = now.Add(31 * time.Second)
+	r.probeOnce() // failure 2: still suspect; lease is 31s unrefreshed
+	if st := stateOf(t, r, peerA); st != StateSuspect {
+		t.Fatalf("state = %s, want suspect", st)
+	}
+	if ls := r.Leases(); len(ls) != 0 {
+		t.Fatalf("suspect-owner lease survived expiry: %+v", ls)
+	}
+
+	*now = now.Add(10 * time.Second)
+	r.probeOnce() // failure 3: down
+	if st := stateOf(t, r, peerA); st != StateDown {
+		t.Fatalf("state = %s, want down", st)
+	}
+	r.UpdateLease(sweepd.JobLease{JobID: "j2", Owner: peerA, Generation: 1})
+	*now = now.Add(10 * time.Minute)
+	r.probeOnce()
+	if ls := r.Leases(); len(ls) != 1 || ls[0].JobID != "j2" {
+		t.Fatalf("down-owner lease was expired (adoption starved): %+v", ls)
+	}
+}
+
+// TestTombstoneLifecycle walks a member through decommission: down
+// past TombstoneAfter deletes it and raises a gossiped tombstone that
+// blocks resurrection by hearsay; a hello (proved reachability) lifts
+// it; an expired tombstone is purged and gossip may re-add the URL.
+func TestTombstoneLifecycle(t *testing.T) {
+	seed := "http://seed:1"
+	tr := newFakeTransport(seed, peerA)
+	tr.lists[seed] = []string{seed, peerA}
+	r, now := testRegistry(Options{
+		Self:           "http://self:9",
+		Seeds:          []string{seed, peerA},
+		ProbeInterval:  10 * time.Second,
+		DownAfter:      1,
+		BackoffMax:     10 * time.Second,
+		TombstoneAfter: 30 * time.Second,
+	}, tr)
+	r.probeOnce() // both alive
+	tr.setUp(peerA, false)
+	*now = now.Add(10 * time.Second)
+	r.probeOnce() // down immediately (DownAfter 1)
+	if st := stateOf(t, r, peerA); st != StateDown {
+		t.Fatalf("state = %s, want down", st)
+	}
+	*now = now.Add(30 * time.Second)
+	r.probeOnce() // down past TombstoneAfter: decommissioned
+	for _, m := range r.Members() {
+		if m.URL == peerA {
+			t.Fatal("tombstoned member still in the table")
+		}
+	}
+	ts := r.Tombstones()
+	if len(ts) != 1 || ts[0].URL != peerA {
+		t.Fatalf("tombstones = %+v", ts)
+	}
+	if got := r.ClusterStats().Tombstoned; got != 1 {
+		t.Fatalf("tombstoned counter = %d, want 1", got)
+	}
+
+	// The seed still lists peerA; gossip alone must not resurrect it.
+	*now = now.Add(10 * time.Second)
+	r.probeOnce()
+	for _, m := range r.Members() {
+		if m.URL == peerA {
+			t.Fatal("gossip resurrected a tombstoned member")
+		}
+	}
+
+	// A hello is proved reachability: tombstone lifted, member alive.
+	r.Hello(peerA)
+	if st := stateOf(t, r, peerA); st != StateAlive {
+		t.Fatalf("state after hello = %s, want alive", st)
+	}
+	if len(r.Tombstones()) != 0 {
+		t.Fatal("hello did not lift the tombstone")
+	}
+
+	// Decommission again; this time let the tombstone expire unlifted.
+	*now = now.Add(10 * time.Second)
+	r.probeOnce() // still unreachable: down again
+	*now = now.Add(30 * time.Second)
+	r.probeOnce() // tombstoned again
+	if len(r.Tombstones()) != 1 {
+		t.Fatalf("tombstones after second decommission = %+v", r.Tombstones())
+	}
+	*now = now.Add(31 * time.Second)
+	r.probeOnce() // past Until: purged
+	if len(r.Tombstones()) != 0 {
+		t.Fatal("expired tombstone not purged")
+	}
+	*now = now.Add(10 * time.Second)
+	r.probeOnce() // gossip may now re-admit the URL (as suspect)
+	found := false
+	for _, m := range r.Members() {
+		if m.URL == peerA {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("gossip could not re-add the member after tombstone expiry")
+	}
+}
+
+// TestGossipedTombstoneDecommissions: a tombstone learned via gossip
+// removes a member we cannot vouch for firsthand — but firsthand
+// liveness (the member answered its own probe) beats the hearsay.
+func TestGossipedTombstoneDecommissions(t *testing.T) {
+	seed := "http://seed:1"
+	b := "http://b:2"
+	t0 := time.Date(2026, 7, 28, 0, 0, 0, 0, time.UTC)
+	tr := newFakeTransport(seed, b)
+	tr.lists[seed] = []string{seed}
+	tr.tombs[seed] = []sweepd.Tombstone{{URL: b, Until: t0.Add(time.Hour)}}
+	r, now := testRegistry(Options{
+		Seeds:         []string{seed, b},
+		ProbeInterval: 10 * time.Second,
+		DownAfter:     1,
+	}, tr)
+	r.probeOnce()
+	if st := stateOf(t, r, b); st != StateAlive {
+		t.Fatalf("firsthand-alive member state = %s; a gossiped tombstone must not kill it", st)
+	}
+	if len(r.Tombstones()) != 0 {
+		t.Fatalf("tombstone adopted against a firsthand-alive member: %+v", r.Tombstones())
+	}
+
+	tr.setUp(b, false)
+	*now = now.Add(10 * time.Second)
+	r.probeOnce() // b down
+	*now = now.Add(10 * time.Second)
+	r.probeOnce() // next gossip pull: tombstone adopted, member deleted
+	for _, m := range r.Members() {
+		if m.URL == b {
+			t.Fatalf("down member survived a gossiped tombstone: %+v", m)
+		}
+	}
+	ts := r.Tombstones()
+	if len(ts) != 1 || ts[0].URL != b {
+		t.Fatalf("tombstones = %+v", ts)
+	}
+}
+
+// TestGossipHearsayCannotRefreshThirdPartyLease: survivors echoing a
+// dead leader's lease at each other must not keep re-stamping it fresh
+// — that would starve adoption forever. Hearsay may introduce a lease
+// (discovery) but only the owner's own listing refreshes its staleness.
+func TestGossipHearsayCannotRefreshThirdPartyLease(t *testing.T) {
+	owner := "http://owner:1"
+	echo := "http://echo:2"
+	tr := newFakeTransport(echo)
+	tr.lists[echo] = []string{echo}
+	tr.leases[echo] = []sweepd.JobLease{{JobID: "j", Owner: owner, Generation: 1}}
+	r, now := testRegistry(Options{
+		Self:          "http://self:9",
+		Seeds:         []string{echo, owner},
+		ProbeInterval: 10 * time.Second,
+	}, tr)
+	r.probeOnce() // hearsay discovery: learn the lease from the echoer
+	t0 := *now
+	if ls := r.Leases(); len(ls) != 1 || !ls[0].Updated.Equal(t0) {
+		t.Fatalf("leases after discovery = %+v", ls)
+	}
+	*now = now.Add(10 * time.Second)
+	r.probeOnce() // the echoer still lists it; staleness must keep running
+	if ls := r.Leases(); len(ls) != 1 || !ls[0].Updated.Equal(t0) {
+		t.Fatalf("hearsay refreshed the lease: Updated = %v, want %v", ls[0].Updated, t0)
+	}
+	// The owner itself listing the lease is firsthand and does refresh.
+	tr.setUp(owner, true)
+	tr.mu.Lock()
+	tr.lists[owner] = []string{owner}
+	tr.leases[owner] = []sweepd.JobLease{{JobID: "j", Owner: owner, Generation: 1}}
+	tr.mu.Unlock()
+	*now = now.Add(10 * time.Second)
+	r.probeOnce()
+	if ls := r.Leases(); len(ls) != 1 || !ls[0].Updated.Equal(*now) {
+		t.Fatalf("owner's own listing did not refresh the lease: %+v", ls)
 	}
 }

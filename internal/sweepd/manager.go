@@ -1,6 +1,7 @@
 package sweepd
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -276,6 +277,100 @@ func (m *Manager) Submit(sp Spec) (Job, bool, error) {
 		m.mu.Unlock()
 	}
 	return job, created, err
+}
+
+// Adopt admits a job this daemon is claiming from a dead leader: the
+// spec comes from the job's gossiped lease, and checkpoint (may be nil)
+// is the dead leader's checkpoint tail as fetched from whichever member
+// still had bytes — its maximal canonical prefix seeds the local
+// checkpoint before the runner starts, so adoption resumes rather than
+// recomputes wherever bytes survived. Adoption is quota-exempt: an
+// orphaned job must land somewhere, and the adopter was chosen as the
+// least-loaded member. Determinism makes the rest safe: whatever prefix
+// is imported, the finished checkpoint is byte-identical to an
+// uninterrupted run's.
+func (m *Manager) Adopt(sp Spec, checkpoint []byte) (Job, bool, error) {
+	sp.Normalize()
+	if err := sp.Validate(); err != nil {
+		return Job{}, false, err
+	}
+	if _, _, err := m.store.CreateJob(sp); err != nil {
+		return Job{}, false, fmt.Errorf("%w: %w", ErrStore, err)
+	}
+	if len(checkpoint) > 0 {
+		// Seeding happens under mu: admit also registers under mu before
+		// spawning a runner, so no runner can have the checkpoint open
+		// while it is being replaced.
+		m.mu.Lock()
+		if _, registered := m.jobs[sp.ID()]; !registered {
+			m.seedCheckpoint(sp, checkpoint)
+		}
+		m.mu.Unlock()
+	}
+	return m.admit(sp, false)
+}
+
+// seedCheckpoint writes the maximal canonical prefix of raw (a fetched
+// checkpoint tail) as the job's local checkpoint. Each line must decode
+// and match the spec's canonical cell at its index; the first torn,
+// alien, or out-of-order line ends the import — the runner recomputes
+// from there. An existing non-empty local checkpoint wins outright (it
+// is already a trusted canonical prefix). Caller holds m.mu and has
+// verified no runner is registered for the job. Best-effort: any
+// failure just means adoption starts from less.
+func (m *Manager) seedCheckpoint(sp Spec, raw []byte) {
+	path := m.store.ResultsPath(sp.ID())
+	if fi, err := os.Stat(path); err == nil && fi.Size() > 0 {
+		return
+	}
+	keep, idx := 0, 0
+	for off := 0; off < len(raw); {
+		nl := bytes.IndexByte(raw[off:], '\n')
+		if nl < 0 {
+			break
+		}
+		line := bytes.TrimSpace(raw[off : off+nl])
+		off += nl + 1
+		if len(line) == 0 {
+			break
+		}
+		rec, err := ncgio.UnmarshalCellResult(line)
+		if err != nil || idx >= sp.NumCells() || rec.Cell != sp.CellsRange(idx, idx+1)[0] {
+			break
+		}
+		idx++
+		keep = off
+	}
+	if keep == 0 {
+		return
+	}
+	tmp := path + ".adopt"
+	if err := os.WriteFile(tmp, raw[:keep], 0o644); err != nil {
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup
+	}
+}
+
+// Load snapshots this daemon's capacity for placement decisions and the
+// /healthz load section — the same numbers ManagerStats reports, minus
+// the O(n) walk over terminal jobs' statuses.
+func (m *Manager) Load() LoadInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	running := 0
+	for _, js := range m.jobs {
+		if js.job.Status == StatusRunning {
+			running++
+		}
+	}
+	return LoadInfo{
+		QueueDepth:  running,
+		BusyWorkers: m.workers - len(m.gate),
+		RunningJobs: running,
+	}
 }
 
 // admit registers the job and starts its runner. A job that is running

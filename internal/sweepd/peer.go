@@ -1,7 +1,11 @@
 package sweepd
 
 import (
+	"context"
+	"fmt"
+	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -79,6 +83,158 @@ func ValidPeerURL(s string) bool {
 	return err == nil && (u.Scheme == "http" || u.Scheme == "https") && u.Host != ""
 }
 
+// RetryAfter reads a 429's Retry-After hint — RFC 7231 allows both
+// delta-seconds ("120") and an HTTP-date ("Wed, 21 Oct 2015 07:28:00
+// GMT") — clamped to [100ms, max]: a zero, past, absent, or malformed
+// hint must not produce a busy-loop, and no hint may outwait max. Both
+// peer client paths (shard leases and scheduler forwarding) share it,
+// so every retry against the /peer/* rate class backs off identically.
+func RetryAfter(resp *http.Response, now time.Time, max time.Duration) time.Duration {
+	wait := time.Second
+	if s := strings.TrimSpace(resp.Header.Get("Retry-After")); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil {
+			wait = time.Duration(secs) * time.Second
+		} else if at, err := http.ParseTime(s); err == nil {
+			wait = at.Sub(now)
+		}
+	}
+	if wait < 100*time.Millisecond {
+		wait = 100 * time.Millisecond
+	}
+	if wait > max {
+		wait = max
+	}
+	return wait
+}
+
+// LoadInfo is one daemon's capacity snapshot, advertised in /healthz and
+// gossiped with the member table so every member can rank placement
+// targets without extra RPCs. All three fields come from ManagerStats.
+type LoadInfo struct {
+	// QueueDepth is the number of running jobs contending for the worker
+	// gate — the primary placement signal (a daemon with fewer whole jobs
+	// finishes a new one sooner regardless of instantaneous CPU use).
+	QueueDepth int `json:"queue_depth"`
+	// BusyWorkers is how many worker-pool tokens are checked out right
+	// now (local cells and lease serving both draw tokens).
+	BusyWorkers int `json:"busy_workers"`
+	// RunningJobs mirrors the jobs_by_status "running" gauge.
+	RunningJobs int `json:"running_jobs"`
+}
+
+// Less orders loads lexicographically (queue depth, then busy workers,
+// then running jobs): strictly less means "schedule there instead".
+func (l LoadInfo) Less(o LoadInfo) bool {
+	if l.QueueDepth != o.QueueDepth {
+		return l.QueueDepth < o.QueueDepth
+	}
+	if l.BusyWorkers != o.BusyWorkers {
+		return l.BusyWorkers < o.BusyWorkers
+	}
+	return l.RunningJobs < o.RunningJobs
+}
+
+// MemberLoad pairs an alive member with its last-probed load snapshot.
+type MemberLoad struct {
+	URL  string   `json:"url"`
+	Load LoadInfo `json:"load"`
+}
+
+// JobLease is a leader's claim on a running job, heartbeat into the
+// member table and carried by gossip. The spec travels inside the lease
+// so any member can restart the job from nothing but its gossip state —
+// the dead leader's disk is not needed. Generation is the split-brain
+// guard: adoption bumps it, and a lease update that loses the
+// generation comparison is rejected, so a zombie ex-leader's heartbeats
+// cannot reclaim a job a peer has legitimately adopted.
+type JobLease struct {
+	JobID string `json:"job_id"`
+	Spec  Spec   `json:"spec"`
+	// Owner is the leader's advertise URL.
+	Owner string `json:"owner"`
+	// Generation starts at 1 and is bumped by each adoption. Ties (two
+	// members adopting the same generation concurrently) resolve to the
+	// lexicographically smaller owner URL, identically on every member.
+	Generation uint64 `json:"generation"`
+	// Completed / Total snapshot checkpoint progress at heartbeat time —
+	// observability only; the adopter re-derives real progress from the
+	// checkpoint bytes it can actually fetch.
+	Completed int `json:"completed"`
+	Total     int `json:"total"`
+	// Updated is stamped locally by each registry that stores the lease
+	// (receipt time, not the owner's clock), so adoption staleness checks
+	// never depend on cross-host clock agreement.
+	Updated time.Time `json:"updated,omitzero"`
+}
+
+// Tombstone decommissions a dead member: gossiped alongside the member
+// table so the whole cluster stops probing (and scheduling onto) a URL
+// that has been down for the tombstone TTL. A hello from the URL lifts
+// the tombstone — it just proved reachability.
+type Tombstone struct {
+	URL   string    `json:"url"`
+	Until time.Time `json:"until"`
+}
+
+// LeaseTable is the optional Membership extension the scheduler and the
+// claim endpoint drive. cluster.Registry implements it.
+type LeaseTable interface {
+	// UpdateLease records (or refreshes) a job lease, reporting whether
+	// it won the generation comparison. A rejected update means someone
+	// else now leads the job.
+	UpdateLease(l JobLease) bool
+	// DropLease removes the lease if its generation is ≤ gen (the owner
+	// finished or released the job).
+	DropLease(jobID string, gen uint64)
+	// Leases snapshots the table, sorted by job ID.
+	Leases() []JobLease
+	// Tombstones snapshots active tombstones, sorted by URL.
+	Tombstones() []Tombstone
+}
+
+// PlacedJob is the result of a scheduled submission: the job snapshot
+// plus where it landed ("" = this daemon; otherwise the peer base URL
+// the spec was forwarded to).
+type PlacedJob struct {
+	Job      Job
+	Created  bool
+	PlacedOn string
+}
+
+// Submitter is the scheduling seam for POST /sweeps: when a Config
+// installs one, submissions are placed cluster-wide instead of admitted
+// locally. Implemented by sched.Scheduler.
+type Submitter interface {
+	SubmitSweep(ctx context.Context, sp Spec) (PlacedJob, error)
+}
+
+// RedirectError tells the HTTP layer to answer 307 with a Location: the
+// scheduler chose a peer but could neither forward the spec nor admit
+// it locally (quota), so the client should retry against the target
+// directly.
+type RedirectError struct {
+	// URL is the chosen peer's base URL.
+	URL string
+}
+
+func (e *RedirectError) Error() string {
+	return fmt.Sprintf("sweepd: submit here failed; retry against %s", e.URL)
+}
+
+// SchedStats snapshots the scheduler for /healthz and /metrics.
+type SchedStats struct {
+	// Forwards counts submissions placed on a peer; ForwardFailures
+	// counts forward attempts that failed and fell back (next peer or
+	// local).
+	Forwards        uint64 `json:"forwards"`
+	ForwardFailures uint64 `json:"forward_failures"`
+	// Adoptions counts orphaned jobs this daemon claimed from dead
+	// leaders; LeadershipLost counts local jobs whose lease lost the
+	// generation comparison (this daemon kept computing as a non-leader).
+	Adoptions      uint64 `json:"adoptions"`
+	LeadershipLost uint64 `json:"leadership_lost"`
+}
+
 // HelloRequest is the wire form of POST /peer/hello: a booting daemon
 // announces its own advertise URL to a seed peer, which registers it as
 // an alive member (and relays it to the rest of the cluster through
@@ -95,12 +251,20 @@ type MemberInfo struct {
 	State    string    `json:"state"`
 	Self     bool      `json:"self,omitempty"`
 	LastSeen time.Time `json:"last_seen,omitzero"`
+	// Load is the member's last-probed capacity snapshot (nil until a
+	// probe has seen one; the scheduler never places on a member whose
+	// capacity is unknown).
+	Load *LoadInfo `json:"load,omitempty"`
 }
 
 // MembersResponse is the GET /peer/members (and POST /peer/hello
-// response) payload.
+// response) payload. Leases and Tombstones ride along so one gossip
+// pull per cycle carries membership, capacity, job leadership, and
+// decommissions at once.
 type MembersResponse struct {
-	Members []MemberInfo `json:"members"`
+	Members    []MemberInfo `json:"members"`
+	Leases     []JobLease   `json:"leases,omitempty"`
+	Tombstones []Tombstone  `json:"tombstones,omitempty"`
 }
 
 // ClusterStats snapshots the membership layer for /healthz and /metrics.
@@ -122,6 +286,12 @@ type ClusterStats struct {
 	ProbeFailures uint64 `json:"probe_failures"`
 	Backoffs      uint64 `json:"backoffs"`
 	Readmissions  uint64 `json:"readmissions"`
+	// Tombstones is the number of currently active tombstones;
+	// Tombstoned counts members decommissioned since start.
+	Tombstones int    `json:"tombstones"`
+	Tombstoned uint64 `json:"tombstoned_total"`
+	// Leases is the number of job leases in the member table.
+	Leases int `json:"leases"`
 }
 
 // Membership is the cluster-membership surface the HTTP layer serves

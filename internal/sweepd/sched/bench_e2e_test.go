@@ -1,0 +1,134 @@
+package sched_test
+
+// Scheduler performance artifact: with BENCH_OUT set, this test runs
+// the two scheduler hot paths against a real three-daemon cluster and
+// writes their measured latencies as JSON (committed as
+// BENCH_sched.json at the repo root), so the placement and failover
+// trajectory is tracked across PRs alongside the paper-table benches.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/sweepd"
+)
+
+type schedBench struct {
+	// PlacementMS is the client-observed POST /sweeps round trip when
+	// the receiving member is busy and forwards to an idle peer.
+	PlacementMS float64 `json:"placement_ms"`
+	// AdoptionMS is kill-to-adoption: leader killed mid-sweep until a
+	// survivor's adoptions counter ticks. Includes down detection
+	// (DownAfterMS-ish), the staleness window (AdoptAfterMS), and the
+	// adopter's next heartbeat tick.
+	AdoptionMS float64 `json:"adoption_ms"`
+	// The knobs the latencies are conditioned on.
+	AdoptAfterMS    float64 `json:"adopt_after_ms"`
+	HeartbeatMS     float64 `json:"heartbeat_ms"`
+	ProbeIntervalMS float64 `json:"probe_interval_ms"`
+	Cells           int     `json:"cells"`
+	GeneratedAt     string  `json:"generated_at"`
+}
+
+// TestBenchSched writes BENCH_sched.json when BENCH_OUT names the
+// output path; without it the test is a no-op skip so the regular
+// suite never pays for the measurement.
+func TestBenchSched(t *testing.T) {
+	out := os.Getenv("BENCH_OUT")
+	if out == "" {
+		t.Skip("set BENCH_OUT=<path> to measure and write BENCH_sched.json")
+	}
+
+	long := sweepd.Spec{
+		N:      60, // ~25ms/cell keeps the leader busy through both measurements
+		Alphas: []float64{0.3, 0.5, 1, 2, 5},
+		Ks:     []int{2, 3, 1000},
+		Seeds:  4, // 60 cells
+	}
+	long.Normalize()
+	small := sweepd.Spec{N: 16, Alphas: []float64{0.5, 1, 2}, Ks: []int{2, 1000}, Seeds: 4}
+	small.Normalize()
+
+	a := newSchedDaemon(t, 1)
+	b := newSchedDaemon(t, 2, a.srv.URL)
+	c := newSchedDaemon(t, 2, a.srv.URL)
+	waitMesh(t, a, b, c)
+
+	// Placement: make a busy, then time a forwarded submission.
+	if _, _, err := a.mgr.Submit(long); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for a.mgr.Load().QueueDepth == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("busy job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	body, err := json.Marshal(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placeStart := time.Now()
+	resp, err := http.Post(a.srv.URL+"/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	placement := time.Since(placeStart)
+	resp.Body.Close()
+	if resp.Header.Get("X-Sweep-Placement") == "" {
+		t.Fatalf("submission was not forwarded (status %s); placement latency unmeasured", resp.Status)
+	}
+
+	// Adoption: wait for the busy job's lease on both survivors, kill
+	// the leader, time until a survivor adopts.
+	jobID := long.ID()
+	for _, survivor := range []*daemon{b, c} {
+		for {
+			leased := false
+			for _, l := range survivor.reg.Leases() {
+				if l.JobID == jobID {
+					leased = true
+				}
+			}
+			if leased {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("lease never propagated; adoption unmeasurable")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	killStart := time.Now()
+	a.kill()
+	for b.sch.Stats().Adoptions+c.sch.Stats().Adoptions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no adoption within deadline")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	adoption := time.Since(killStart)
+
+	res := schedBench{
+		PlacementMS:     float64(placement.Microseconds()) / 1000,
+		AdoptionMS:      float64(adoption.Microseconds()) / 1000,
+		AdoptAfterMS:    float64(adoptAfter.Milliseconds()),
+		HeartbeatMS:     float64(schedBeat.Milliseconds()),
+		ProbeIntervalMS: float64(probeIvl.Milliseconds()),
+		Cells:           long.NumCells(),
+		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: placement %.1fms, adoption %.1fms", out, res.PlacementMS, res.AdoptionMS)
+}

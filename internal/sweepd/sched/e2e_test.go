@@ -1,0 +1,353 @@
+package sched_test
+
+// End-to-end tests for the cluster scheduler: real daemons wired over
+// httptest — manager, membership registry, scheduler, and HTTP surface
+// assembled exactly as cmd/ncg-server does — proving the acceptance
+// criteria: a sweep POSTed to a busy member is placed on the
+// least-loaded peer, a killed leader's job is adopted and finishes with
+// a byte-identical checkpoint, and a revived ex-leader cedes to the
+// adopter's higher lease generation instead of split-braining.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sweepd"
+	"repro/internal/sweepd/cluster"
+	"repro/internal/sweepd/sched"
+)
+
+const (
+	probeIvl   = 20 * time.Millisecond
+	schedBeat  = 25 * time.Millisecond
+	adoptAfter = 300 * time.Millisecond
+)
+
+// daemon is one in-process ncg-server: store, manager, registry,
+// scheduler, and HTTP surface, all wired the way main() wires them.
+type daemon struct {
+	dir   string
+	store *sweepd.Store
+	mgr   *sweepd.Manager
+	reg   *cluster.Registry
+	sch   *sched.Scheduler
+	srv   *httptest.Server
+	dead  sync.Once
+}
+
+func newSchedDaemon(t *testing.T, workers int, seeds ...string) *daemon {
+	t.Helper()
+	d, err := buildDaemon(t.TempDir(), workers, time.Hour, seeds...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.kill)
+	return d
+}
+
+// buildDaemon assembles a daemon over dir. leaseExpiry bounds how long
+// the registry keeps an unrefreshed lease whose owner looks healthy
+// (kept long here: tests drive staleness through AdoptAfter instead).
+func buildDaemon(dir string, workers int, leaseExpiry time.Duration, seeds ...string) (*daemon, error) {
+	store, err := sweepd.OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	mgr := sweepd.NewManager(store, sweepd.NewCache(4096), workers)
+	reg := cluster.New(cluster.Options{
+		Seeds:         seeds,
+		ProbeInterval: probeIvl,
+		DownAfter:     2,
+		LeaseExpiry:   leaseExpiry,
+		SelfLoad:      mgr.Load,
+	})
+	sch, err := sched.New(sched.Options{
+		Cluster:    reg,
+		Manager:    mgr,
+		AdoptAfter: adoptAfter,
+		Heartbeat:  schedBeat,
+	})
+	if err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	h := sweepd.NewHandlerConfig(mgr, sweepd.Config{
+		PollInterval:      5 * time.Millisecond,
+		HeartbeatInterval: 20 * time.Millisecond,
+		Cluster:           reg,
+		Sched:             sch,
+		SchedStats:        sch.Stats,
+	})
+	d := &daemon{dir: dir, store: store, mgr: mgr, reg: reg, sch: sch}
+	d.srv = httptest.NewServer(h)
+	reg.SetSelf(d.srv.URL)
+	reg.Start()
+	sch.Start()
+	return d, nil
+}
+
+// kill tears the daemon down abruptly and idempotently: in-flight
+// client connections die mid-stream, probes start failing, heartbeats
+// stop, and the manager cancels its runners — the closest an in-process
+// test gets to kill -9. The checkpoint stays on disk, resumable.
+func (d *daemon) kill() {
+	d.dead.Do(func() {
+		d.srv.CloseClientConnections()
+		d.srv.Close()
+		d.sch.Close()
+		d.reg.Close()
+		d.mgr.Close()
+	})
+}
+
+func waitDone(t *testing.T, m *sweepd.Manager, id string) sweepd.Job {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		job, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		switch job.Status {
+		case sweepd.StatusDone:
+			return job
+		case sweepd.StatusFailed:
+			t.Fatalf("job failed: %s", job.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("timed out waiting for job")
+	return sweepd.Job{}
+}
+
+// waitMesh blocks until every daemon has sampled a load for every other
+// — the point after which placement and adoption elections see the full
+// cluster.
+func waitMesh(t *testing.T, ds ...*daemon) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for _, d := range ds {
+		for len(d.reg.AliveLoads()) < len(ds)-1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("mesh never formed: %s sees loads %+v", d.srv.URL, d.reg.AliveLoads())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+// runReference computes the spec on a lone daemon and returns the
+// finished checkpoint bytes — the byte-identity baseline.
+func runReference(t *testing.T, sp sweepd.Spec) []byte {
+	t.Helper()
+	ref := newSchedDaemon(t, 4)
+	job, _, err := ref.mgr.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, ref.mgr, job.ID)
+	data, err := os.ReadFile(ref.store.ResultsPath(job.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("reference checkpoint is empty")
+	}
+	return data
+}
+
+// TestSubmitViaBusyMemberForwardsToIdlePeer: POST /sweeps to the one
+// busy daemon of a three-member cluster must land the job on an idle
+// peer — 202 with X-Sweep-Placement naming it, the job running there
+// and never admitted on the receiving member — with the checkpoint
+// byte-identical to a lone-daemon run.
+func TestSubmitViaBusyMemberForwardsToIdlePeer(t *testing.T) {
+	sp := sweepd.Spec{
+		N:      16,
+		Alphas: []float64{0.5, 1, 2},
+		Ks:     []int{2, 1000},
+		Seeds:  4, // 24 cells
+	}
+	sp.Normalize()
+	ref := runReference(t, sp)
+
+	busy := sweepd.Spec{
+		N:      60, // ~25ms/cell
+		Alphas: []float64{0.3, 0.5, 1, 2, 5},
+		Ks:     []int{2, 3, 1000},
+		Seeds:  4, // 60 cells on one worker: stays running throughout
+	}
+	busy.Normalize()
+
+	a := newSchedDaemon(t, 1)
+	b := newSchedDaemon(t, 2, a.srv.URL)
+	c := newSchedDaemon(t, 2, a.srv.URL)
+	waitMesh(t, a, b, c)
+
+	if _, _, err := a.mgr.Submit(busy); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for a.mgr.Load().QueueDepth == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("busy job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	body, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(a.srv.URL+"/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit via busy member = %s, want 202", resp.Status)
+	}
+	placedOn := resp.Header.Get("X-Sweep-Placement")
+	var target *daemon
+	switch placedOn {
+	case b.srv.URL:
+		target = b
+	case c.srv.URL:
+		target = c
+	default:
+		t.Fatalf("X-Sweep-Placement = %q, want one of the idle peers (%s, %s)", placedOn, b.srv.URL, c.srv.URL)
+	}
+	var job sweepd.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	if job.ID != sp.ID() {
+		t.Fatalf("placed job ID = %q, want %q", job.ID, sp.ID())
+	}
+	if st := a.sch.Stats(); st.Forwards == 0 {
+		t.Fatalf("busy member recorded no forward: %+v", st)
+	}
+	if _, ok := a.mgr.Get(job.ID); ok {
+		t.Fatal("forwarded job was also admitted on the busy member")
+	}
+
+	waitDone(t, target.mgr, job.ID)
+	data, err := os.ReadFile(target.store.ResultsPath(job.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, ref) {
+		t.Fatalf("placed checkpoint differs from lone-daemon run (%d vs %d bytes)", len(data), len(ref))
+	}
+}
+
+// TestLeaderDeathAdoptionAndZombieCede is the failover acceptance
+// criterion end to end: kill the leader mid-sweep, a surviving peer
+// adopts the job within the adoption window and finishes it with a
+// byte-identical checkpoint, and the leader revived over its old store
+// cedes to the adopter's higher lease generation (LeadershipLost ticks,
+// the adopter keeps the job) instead of split-braining.
+func TestLeaderDeathAdoptionAndZombieCede(t *testing.T) {
+	sp := sweepd.Spec{
+		N:      60, // ~25ms/cell: the sweep outlives kill, adoption, and zombie windows
+		Alphas: []float64{0.3, 0.5, 1, 2, 5},
+		Ks:     []int{2, 3, 1000},
+		Seeds:  6, // 90 cells
+	}
+	sp.Normalize()
+	ref := runReference(t, sp)
+
+	a := newSchedDaemon(t, 1) // slow leader: one worker stretches the sweep
+	b := newSchedDaemon(t, 2, a.srv.URL)
+	c := newSchedDaemon(t, 2, a.srv.URL)
+	waitMesh(t, a, b, c)
+
+	job, _, err := a.mgr.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill only once both survivors hold the leader's lease — the spec
+	// travels inside it, so adoption needs nothing from A's disk.
+	deadline := time.Now().Add(30 * time.Second)
+	for _, survivor := range []*daemon{b, c} {
+		for {
+			leased := false
+			for _, l := range survivor.reg.Leases() {
+				if l.JobID == job.ID && l.Owner == a.srv.URL {
+					leased = true
+				}
+			}
+			if leased {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("lease never reached %s", survivor.srv.URL)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if j, _ := a.mgr.Get(job.ID); j.Status != sweepd.StatusRunning {
+		t.Fatalf("leader job is %s before the kill; spec too small to test failover", j.Status)
+	}
+	a.kill()
+
+	// One survivor must adopt within the adoption window (plus probe and
+	// heartbeat slack) and re-lease the job at a higher generation.
+	adoptDeadline := time.Now().Add(30 * time.Second)
+	for b.sch.Stats().Adoptions+c.sch.Stats().Adoptions == 0 {
+		if time.Now().After(adoptDeadline) {
+			t.Fatalf("no adoption: b=%+v c=%+v leases=%+v", b.sch.Stats(), c.sch.Stats(), b.reg.Leases())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Revive the dead leader over its old store while the adopted run is
+	// still going: it resumes the job, heartbeats its stale generation,
+	// loses the comparison, and cedes.
+	zombie, err := buildDaemon(a.dir, 1, time.Hour, b.srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(zombie.kill)
+	if err := zombie.mgr.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	zombieDeadline := time.Now().Add(30 * time.Second)
+	for zombie.sch.Stats().LeadershipLost == 0 {
+		if time.Now().After(zombieDeadline) {
+			t.Fatalf("zombie never ceded: %+v leases=%+v", zombie.sch.Stats(), zombie.reg.Leases())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The adopter finishes the job byte-identically to the reference.
+	var adopter *daemon
+	for _, d := range []*daemon{b, c} {
+		if d.sch.Stats().Adoptions > 0 {
+			adopter = d
+			break
+		}
+	}
+	waitDone(t, adopter.mgr, job.ID)
+	data, err := os.ReadFile(adopter.store.ResultsPath(job.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, ref) {
+		t.Fatalf("adopted checkpoint differs from reference (%d vs %d bytes)", len(data), len(ref))
+	}
+
+	// No split-brain: any lease still standing for the job names the
+	// adopter's generation, never the zombie's stale one.
+	for _, l := range adopter.reg.Leases() {
+		if l.JobID == job.ID && l.Owner == zombie.srv.URL {
+			t.Fatalf("zombie reclaimed the lease: %+v", l)
+		}
+	}
+}

@@ -1,0 +1,503 @@
+package sched
+
+// Unit tests for the scheduler's three behaviors — placement,
+// leadership heartbeating, adoption — against scripted fakes of the
+// registry and the manager, with httptest daemons standing in for
+// peers where real HTTP matters (forwards, claims, checkpoint
+// recovery). Cluster e2e lives in internal/sweepd's test suite.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sweepd"
+)
+
+func testSpec() sweepd.Spec {
+	sp := sweepd.Spec{N: 8, Alphas: []float64{1}, Ks: []int{2}, Seeds: 1}
+	sp.Normalize()
+	return sp
+}
+
+// fakeCluster scripts the registry surface: member table, cached
+// loads, and a lease table with the real generation guard.
+type fakeCluster struct {
+	mu       sync.Mutex
+	self     string
+	members  []sweepd.MemberInfo
+	loads    []sweepd.MemberLoad
+	leases   map[string]sweepd.JobLease
+	failures []string
+}
+
+func newFakeCluster(self string) *fakeCluster {
+	return &fakeCluster{self: self, leases: make(map[string]sweepd.JobLease)}
+}
+
+func (c *fakeCluster) Self() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.self
+}
+
+func (c *fakeCluster) Members() []sweepd.MemberInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]sweepd.MemberInfo(nil), c.members...)
+}
+
+func (c *fakeCluster) AliveLoads() []sweepd.MemberLoad {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]sweepd.MemberLoad(nil), c.loads...)
+}
+
+func (c *fakeCluster) UpdateLease(l sweepd.JobLease) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur, ok := c.leases[l.JobID]
+	accept := !ok ||
+		l.Generation > cur.Generation ||
+		(l.Generation == cur.Generation && (l.Owner == cur.Owner || l.Owner < cur.Owner))
+	if accept {
+		l.Updated = time.Now() // the real registry re-stamps on receipt
+		c.leases[l.JobID] = l
+	}
+	return accept
+}
+
+func (c *fakeCluster) DropLease(jobID string, gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.leases[jobID]; ok && cur.Generation <= gen {
+		delete(c.leases, jobID)
+	}
+}
+
+func (c *fakeCluster) Leases() []sweepd.JobLease {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]sweepd.JobLease, 0, len(c.leases))
+	for _, l := range c.leases {
+		out = append(out, l)
+	}
+	return out
+}
+
+func (c *fakeCluster) Tombstones() []sweepd.Tombstone { return nil }
+
+func (c *fakeCluster) ReportLeaseFailure(url string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failures = append(c.failures, url)
+}
+
+func (c *fakeCluster) lease(jobID string) (sweepd.JobLease, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l, ok := c.leases[jobID]
+	return l, ok
+}
+
+// adoptCall records one Manager.Adopt invocation.
+type adoptCall struct {
+	spec       sweepd.Spec
+	checkpoint []byte
+}
+
+// fakeManager scripts the manager surface: a fixed load, a job list,
+// and recorded Submit/Adopt calls.
+type fakeManager struct {
+	mu        sync.Mutex
+	load      sweepd.LoadInfo
+	jobs      []sweepd.Job
+	submitted []sweepd.Spec
+	adopted   []adoptCall
+	submitErr error
+}
+
+func (m *fakeManager) Submit(sp sweepd.Spec) (sweepd.Job, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.submitted = append(m.submitted, sp)
+	if m.submitErr != nil {
+		return sweepd.Job{}, false, m.submitErr
+	}
+	return sweepd.Job{ID: sp.ID(), Spec: sp, Status: sweepd.StatusRunning}, true, nil
+}
+
+func (m *fakeManager) Adopt(sp sweepd.Spec, checkpoint []byte) (sweepd.Job, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.adopted = append(m.adopted, adoptCall{sp, checkpoint})
+	job := sweepd.Job{ID: sp.ID(), Spec: sp, Status: sweepd.StatusRunning, Total: sp.NumCells()}
+	m.jobs = append(m.jobs, job)
+	return job, true, nil
+}
+
+func (m *fakeManager) List() []sweepd.Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]sweepd.Job(nil), m.jobs...)
+}
+
+func (m *fakeManager) Load() sweepd.LoadInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.load
+}
+
+func (m *fakeManager) setJobs(jobs ...sweepd.Job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobs = jobs
+}
+
+func newTestScheduler(t *testing.T, c *fakeCluster, m *fakeManager) *Scheduler {
+	t.Helper()
+	s, err := New(Options{
+		Cluster:    c,
+		Manager:    m,
+		AdoptAfter: 10 * time.Second,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// peerDaemon is a minimal fake peer: it accepts /peer/jobs (202 + job
+// JSON), records /peer/jobs/claim, and serves a canned checkpoint for
+// /sweeps/{id}/results (404 when empty).
+type peerDaemon struct {
+	mu         sync.Mutex
+	submits    int
+	claims     []sweepd.JobLease
+	checkpoint []byte
+	rejections int // initial 429s to serve on /peer/jobs, with Retry-After: 0
+	srv        *httptest.Server
+}
+
+func newPeerDaemon(t *testing.T) *peerDaemon {
+	t.Helper()
+	p := &peerDaemon{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /peer/jobs", func(w http.ResponseWriter, r *http.Request) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if p.rejections > 0 {
+			p.rejections--
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		var sp sweepd.Spec
+		if err := json.NewDecoder(r.Body).Decode(&sp); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		sp.Normalize()
+		p.submits++
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(sweepd.Job{ID: sp.ID(), Spec: sp, Status: sweepd.StatusRunning}) //nolint:errcheck
+	})
+	mux.HandleFunc("POST /peer/jobs/claim", func(w http.ResponseWriter, r *http.Request) {
+		var l sweepd.JobLease
+		if err := json.NewDecoder(r.Body).Decode(&l); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		p.mu.Lock()
+		p.claims = append(p.claims, l)
+		p.mu.Unlock()
+		json.NewEncoder(w).Encode(map[string]bool{"accepted": true}) //nolint:errcheck
+	})
+	mux.HandleFunc("GET /sweeps/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		p.mu.Lock()
+		ck := p.checkpoint
+		p.mu.Unlock()
+		if len(ck) == 0 {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(ck) //nolint:errcheck
+	})
+	p.srv = httptest.NewServer(mux)
+	t.Cleanup(p.srv.Close)
+	return p
+}
+
+// TestPickTargetStrictlyLess: ties and heavier peers keep the job
+// local; only a strictly less-loaded peer attracts it, and among
+// peers the least-loaded wins.
+func TestPickTargetStrictlyLess(t *testing.T) {
+	c := newFakeCluster("http://self:1")
+	m := &fakeManager{load: sweepd.LoadInfo{QueueDepth: 2}}
+	s := newTestScheduler(t, c, m)
+
+	if got := s.pickTarget(); got != "" {
+		t.Fatalf("no peers: target = %q, want local", got)
+	}
+	c.loads = []sweepd.MemberLoad{
+		{URL: "http://a:1", Load: sweepd.LoadInfo{QueueDepth: 2}}, // tie: stays local
+		{URL: "http://self:1", Load: sweepd.LoadInfo{QueueDepth: 0}},
+	}
+	if got := s.pickTarget(); got != "" {
+		t.Fatalf("tied peer: target = %q, want local", got)
+	}
+	c.loads = []sweepd.MemberLoad{
+		{URL: "http://a:1", Load: sweepd.LoadInfo{QueueDepth: 1}},
+		{URL: "http://b:1", Load: sweepd.LoadInfo{QueueDepth: 0, BusyWorkers: 3}},
+	}
+	if got := s.pickTarget(); got != "http://b:1" {
+		t.Fatalf("target = %q, want the least-loaded peer", got)
+	}
+}
+
+// TestSubmitForwardsAndHonorsRetryAfter: a submission lands on the
+// less-loaded peer even when the peer sheds the first attempts with
+// 429 + Retry-After, and the forward counts in Stats.
+func TestSubmitForwardsAndHonorsRetryAfter(t *testing.T) {
+	peer := newPeerDaemon(t)
+	peer.rejections = 2
+	c := newFakeCluster("http://self:1")
+	m := &fakeManager{load: sweepd.LoadInfo{QueueDepth: 3}}
+	c.loads = []sweepd.MemberLoad{{URL: peer.srv.URL, Load: sweepd.LoadInfo{}}}
+	s := newTestScheduler(t, c, m)
+
+	sp := testSpec()
+	placed, err := s.SubmitSweep(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placed.PlacedOn != peer.srv.URL || !placed.Created || placed.Job.ID != sp.ID() {
+		t.Fatalf("placed = %+v", placed)
+	}
+	if peer.submits != 1 {
+		t.Fatalf("peer admitted %d submissions, want 1", peer.submits)
+	}
+	if len(m.submitted) != 0 {
+		t.Fatal("forwarded submission also ran locally")
+	}
+	if st := s.Stats(); st.Forwards != 1 || st.ForwardFailures != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSubmitFallsBackLocalOnForwardFailure: an unreachable target
+// costs a failure counter and a registry report, not the submission.
+func TestSubmitFallsBackLocalOnForwardFailure(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // connection refused from here on
+	c := newFakeCluster("http://self:1")
+	m := &fakeManager{load: sweepd.LoadInfo{QueueDepth: 3}}
+	c.loads = []sweepd.MemberLoad{{URL: dead.URL, Load: sweepd.LoadInfo{}}}
+	s := newTestScheduler(t, c, m)
+
+	sp := testSpec()
+	placed, err := s.SubmitSweep(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placed.PlacedOn != "" || placed.Job.ID != sp.ID() {
+		t.Fatalf("placed = %+v, want local fallback", placed)
+	}
+	if len(m.submitted) != 1 {
+		t.Fatalf("local manager saw %d submissions, want 1", len(m.submitted))
+	}
+	if len(c.failures) != 1 || c.failures[0] != dead.URL {
+		t.Fatalf("registry failure reports = %v", c.failures)
+	}
+	if st := s.Stats(); st.ForwardFailures != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSubmitRedirectsWhenFullEverywhere: forward failed and the local
+// quota is exhausted — the caller gets a RedirectError naming the
+// chosen peer so the HTTP layer can answer 307.
+func TestSubmitRedirectsWhenFullEverywhere(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	c := newFakeCluster("http://self:1")
+	m := &fakeManager{load: sweepd.LoadInfo{QueueDepth: 3}, submitErr: sweepd.ErrJobQuota}
+	c.loads = []sweepd.MemberLoad{{URL: dead.URL, Load: sweepd.LoadInfo{}}}
+	s := newTestScheduler(t, c, m)
+
+	_, err := s.SubmitSweep(context.Background(), testSpec())
+	var redir *sweepd.RedirectError
+	if !asRedirect(err, &redir) || redir.URL != dead.URL {
+		t.Fatalf("err = %v, want RedirectError to %s", err, dead.URL)
+	}
+}
+
+func asRedirect(err error, target **sweepd.RedirectError) bool {
+	re, ok := err.(*sweepd.RedirectError)
+	if ok {
+		*target = re
+	}
+	return ok
+}
+
+// TestHeartbeatLeasesRunningJobsAndDropsFinished: one tick publishes a
+// generation-1 lease per running job; the tick after the job finishes
+// withdraws it.
+func TestHeartbeatLeasesRunningJobsAndDropsFinished(t *testing.T) {
+	sp := testSpec()
+	c := newFakeCluster("http://self:1")
+	m := &fakeManager{}
+	m.setJobs(sweepd.Job{ID: sp.ID(), Spec: sp, Status: sweepd.StatusRunning, Completed: 3, Total: 8})
+	s := newTestScheduler(t, c, m)
+
+	s.tick()
+	l, ok := c.lease(sp.ID())
+	if !ok || l.Owner != "http://self:1" || l.Generation != 1 || l.Completed != 3 {
+		t.Fatalf("lease after tick = %+v (ok=%v)", l, ok)
+	}
+
+	m.setJobs(sweepd.Job{ID: sp.ID(), Spec: sp, Status: sweepd.StatusDone})
+	s.tick()
+	if _, ok := c.lease(sp.ID()); ok {
+		t.Fatal("finished job's lease was not withdrawn")
+	}
+	if st := s.Stats(); st.LeadershipLost != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestHeartbeatCedesToNewerGeneration: a zombie ex-leader whose job
+// was adopted elsewhere must stop heartbeating (but keep its maps
+// clean) the moment its update is rejected — and never knock out the
+// adopter's lease when its local run finishes.
+func TestHeartbeatCedesToNewerGeneration(t *testing.T) {
+	sp := testSpec()
+	c := newFakeCluster("http://self:1")
+	m := &fakeManager{}
+	m.setJobs(sweepd.Job{ID: sp.ID(), Spec: sp, Status: sweepd.StatusRunning})
+	s := newTestScheduler(t, c, m)
+
+	s.tick() // leads at generation 1
+	adopter := sweepd.JobLease{JobID: sp.ID(), Spec: sp, Owner: "http://peer:1", Generation: 2}
+	if !c.UpdateLease(adopter) {
+		t.Fatal("adopter's claim rejected by fake table")
+	}
+
+	s.tick() // rejected heartbeat → cede
+	if st := s.Stats(); st.LeadershipLost != 1 {
+		t.Fatalf("stats = %+v, want one leadership loss", st)
+	}
+	if l, _ := c.lease(sp.ID()); l.Owner != "http://peer:1" || l.Generation != 2 {
+		t.Fatalf("lease = %+v, want the adopter's", l)
+	}
+
+	// The ceded job finishing locally must not drop the adopter's lease.
+	m.setJobs(sweepd.Job{ID: sp.ID(), Spec: sp, Status: sweepd.StatusDone})
+	s.tick()
+	if l, ok := c.lease(sp.ID()); !ok || l.Owner != "http://peer:1" {
+		t.Fatalf("adopter's lease gone after zombie finished: %+v (ok=%v)", l, ok)
+	}
+}
+
+// TestHeartbeatCedesToPreexistingLease: a job discovered already under
+// another member's lease (restart races) is never heartbeated at all.
+func TestHeartbeatCedesToPreexistingLease(t *testing.T) {
+	sp := testSpec()
+	c := newFakeCluster("http://self:1")
+	c.UpdateLease(sweepd.JobLease{JobID: sp.ID(), Spec: sp, Owner: "http://peer:1", Generation: 3})
+	m := &fakeManager{}
+	m.setJobs(sweepd.Job{ID: sp.ID(), Spec: sp, Status: sweepd.StatusRunning})
+	s := newTestScheduler(t, c, m)
+
+	s.tick()
+	if l, _ := c.lease(sp.ID()); l.Owner != "http://peer:1" || l.Generation != 3 {
+		t.Fatalf("lease = %+v, want untouched", l)
+	}
+	if st := s.Stats(); st.LeadershipLost != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestAdoptionElectionAndClaim: an orphaned stale lease is adopted by
+// the least-loaded member only; the adopter recovers the checkpoint
+// tail from an alive peer, bumps the generation, and broadcasts the
+// claim. A member that loses the election leaves the lease alone.
+func TestAdoptionElectionAndClaim(t *testing.T) {
+	sp := testSpec()
+	peer := newPeerDaemon(t)
+	peer.checkpoint = []byte("checkpoint-tail\n")
+
+	c := newFakeCluster("http://self:1")
+	m := &fakeManager{load: sweepd.LoadInfo{QueueDepth: 1}}
+	s := newTestScheduler(t, c, m)
+	past := time.Now().Add(-time.Minute)
+	orphan := sweepd.JobLease{JobID: sp.ID(), Spec: sp, Owner: "http://dead:1", Generation: 1, Updated: past}
+	c.UpdateLease(orphan)
+	c.leases[sp.ID()] = orphan // pin the stale Updated stamp
+	c.members = []sweepd.MemberInfo{
+		{URL: "http://dead:1", State: "down"},
+		{URL: peer.srv.URL, State: "alive"},
+	}
+
+	// The peer looks idler: election goes to it, we do nothing.
+	c.loads = []sweepd.MemberLoad{{URL: peer.srv.URL, Load: sweepd.LoadInfo{}}}
+	s.tick()
+	if len(m.adopted) != 0 {
+		t.Fatal("lost election but adopted anyway")
+	}
+
+	// Now we are the least loaded: adopt, seed, claim.
+	m.load = sweepd.LoadInfo{}
+	c.loads = []sweepd.MemberLoad{{URL: peer.srv.URL, Load: sweepd.LoadInfo{QueueDepth: 5}}}
+	s.tick()
+	if len(m.adopted) != 1 || string(m.adopted[0].checkpoint) != "checkpoint-tail\n" {
+		t.Fatalf("adopt calls = %+v", m.adopted)
+	}
+	l, _ := c.lease(sp.ID())
+	if l.Owner != "http://self:1" || l.Generation != 2 {
+		t.Fatalf("post-adoption lease = %+v", l)
+	}
+	if st := s.Stats(); st.Adoptions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	peer.mu.Lock()
+	claims := len(peer.claims)
+	peer.mu.Unlock()
+	if claims != 1 {
+		t.Fatalf("peer saw %d claims, want 1", claims)
+	}
+
+	// The adopted job now heartbeats at generation 2.
+	s.tick()
+	if l, _ := c.lease(sp.ID()); l.Generation != 2 || l.Owner != "http://self:1" {
+		t.Fatalf("heartbeat after adoption = %+v", l)
+	}
+}
+
+// TestAdoptionWaitsForStaleness: a fresh lease from a down owner is
+// not adopted before AdoptAfter — restarts get their grace period.
+func TestAdoptionWaitsForStaleness(t *testing.T) {
+	sp := testSpec()
+	c := newFakeCluster("http://self:1")
+	m := &fakeManager{}
+	s := newTestScheduler(t, c, m)
+	c.UpdateLease(sweepd.JobLease{JobID: sp.ID(), Spec: sp, Owner: "http://dead:1", Generation: 1, Updated: time.Now()})
+	c.members = []sweepd.MemberInfo{{URL: "http://dead:1", State: "down"}}
+
+	s.tick()
+	if len(m.adopted) != 0 {
+		t.Fatal("adopted a lease younger than AdoptAfter")
+	}
+	// An alive owner is never adopted from, however stale the lease.
+	c.leases[sp.ID()] = sweepd.JobLease{JobID: sp.ID(), Spec: sp, Owner: "http://dead:1", Generation: 1, Updated: time.Now().Add(-time.Hour)}
+	c.members = []sweepd.MemberInfo{{URL: "http://dead:1", State: "alive"}}
+	s.tick()
+	if len(m.adopted) != 0 {
+		t.Fatal("adopted from an alive owner")
+	}
+}

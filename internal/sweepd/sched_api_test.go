@@ -1,0 +1,387 @@
+package sweepd
+
+// Tests for the scheduler-facing HTTP surface: RetryAfter parsing
+// (shared by the shard backend and the scheduler's forwarding path),
+// the /peer/jobs and /peer/jobs/claim endpoints, the lease/tombstone
+// gossip payload, and POST /sweeps routed through a Submitter.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func respWithRetryAfter(v string) *http.Response {
+	h := http.Header{}
+	if v != "" {
+		h.Set("Retry-After", v)
+	}
+	return &http.Response{Header: h}
+}
+
+// TestRetryAfterForms covers both wire forms of Retry-After plus the
+// clamps: delta-seconds, HTTP-date, and absent/garbage/past values.
+func TestRetryAfterForms(t *testing.T) {
+	now := time.Date(2026, 7, 28, 12, 0, 0, 0, time.UTC)
+	max := 30 * time.Second
+	cases := []struct {
+		name   string
+		header string
+		want   time.Duration
+	}{
+		{"absent defaults to 1s", "", time.Second},
+		{"delta seconds", "7", 7 * time.Second},
+		{"delta zero clamps up", "0", 100 * time.Millisecond},
+		{"delta beyond max clamps down", "3600", max},
+		{"http date", now.Add(5 * time.Second).UTC().Format(http.TimeFormat), 5 * time.Second},
+		{"http date beyond max clamps down", now.Add(10 * time.Minute).UTC().Format(http.TimeFormat), max},
+		{"http date in the past clamps up", now.Add(-time.Minute).UTC().Format(http.TimeFormat), 100 * time.Millisecond},
+		{"surrounding space tolerated", "  9  ", 9 * time.Second},
+		{"garbage defaults to 1s", "soon", time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := RetryAfter(respWithRetryAfter(tc.header), now, max); got != tc.want {
+				t.Fatalf("RetryAfter(%q) = %v, want %v", tc.header, got, tc.want)
+			}
+		})
+	}
+}
+
+// fakeLeaseMembership is fakeMembership plus a generation-guarded
+// lease table — the HTTP layer's view of a scheduling-enabled
+// cluster.Registry.
+type fakeLeaseMembership struct {
+	fakeMembership
+	lmu    sync.Mutex
+	leases map[string]JobLease
+	tombs  []Tombstone
+}
+
+func (f *fakeLeaseMembership) UpdateLease(l JobLease) bool {
+	f.lmu.Lock()
+	defer f.lmu.Unlock()
+	if f.leases == nil {
+		f.leases = make(map[string]JobLease)
+	}
+	if cur, ok := f.leases[l.JobID]; ok && l.Generation < cur.Generation {
+		return false
+	}
+	f.leases[l.JobID] = l
+	return true
+}
+
+func (f *fakeLeaseMembership) DropLease(jobID string, gen uint64) {
+	f.lmu.Lock()
+	defer f.lmu.Unlock()
+	if cur, ok := f.leases[jobID]; ok && cur.Generation <= gen {
+		delete(f.leases, jobID)
+	}
+}
+
+func (f *fakeLeaseMembership) Leases() []JobLease {
+	f.lmu.Lock()
+	defer f.lmu.Unlock()
+	out := make([]JobLease, 0, len(f.leases))
+	for _, l := range f.leases {
+		out = append(out, l)
+	}
+	return out
+}
+
+func (f *fakeLeaseMembership) Tombstones() []Tombstone {
+	f.lmu.Lock()
+	defer f.lmu.Unlock()
+	return append([]Tombstone(nil), f.tombs...)
+}
+
+// TestPeerSubmitRunsLocally: /peer/jobs is a plain local submission —
+// idempotent like POST /sweeps (202 new, 200 duplicate), 400 on bad
+// specs — and must never re-forward (it exists to terminate forwards).
+func TestPeerSubmitRunsLocally(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(store, nil, 2)
+	defer mgr.Close()
+	srv := httptest.NewServer(NewHandler(mgr))
+	defer srv.Close()
+
+	body := `{"n":8,"alphas":[1],"ks":[2],"seeds":1}`
+	r1, err := http.Post(srv.URL+"/peer/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job Job
+	if err := json.NewDecoder(r1.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	r1.Body.Close()
+	if r1.StatusCode != http.StatusAccepted || job.ID == "" {
+		t.Fatalf("first peer submit: status %d, job %+v", r1.StatusCode, job)
+	}
+	if _, ok := mgr.Get(job.ID); !ok {
+		t.Fatal("forwarded job is not running on the receiving manager")
+	}
+
+	r2, err := http.Post(srv.URL+"/peer/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("duplicate peer submit status = %d, want 200", r2.StatusCode)
+	}
+
+	r3, err := http.Post(srv.URL+"/peer/jobs", "application/json", strings.NewReader(`{"n":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid peer submit status = %d, want 400", r3.StatusCode)
+	}
+}
+
+// TestPeerClaim: a claim lands in the lease table via the generation
+// guard (stale generations refused), malformed claims are 400s, and a
+// daemon without a lease table answers 503.
+func TestPeerClaim(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(store, nil, 1)
+	defer mgr.Close()
+	fm := &fakeLeaseMembership{}
+	srv := httptest.NewServer(NewHandlerConfig(mgr, Config{Cluster: fm}))
+	defer srv.Close()
+
+	claim := func(body string) (int, bool) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/peer/jobs/claim", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Accepted bool `json:"accepted"`
+		}
+		json.NewDecoder(resp.Body).Decode(&out) //nolint:errcheck
+		return resp.StatusCode, out.Accepted
+	}
+
+	sp := Spec{N: 8, Alphas: []float64{1}, Ks: []int{2}, Seeds: 1}
+	sp.Normalize()
+	lease := JobLease{JobID: sp.ID(), Spec: sp, Owner: "http://b:1", Generation: 2}
+	lb, _ := json.Marshal(lease)
+	if code, accepted := claim(string(lb)); code != http.StatusOK || !accepted {
+		t.Fatalf("fresh claim: code %d accepted %v", code, accepted)
+	}
+	// A stale generation loses against the table.
+	lease.Generation = 1
+	lb, _ = json.Marshal(lease)
+	if code, accepted := claim(string(lb)); code != http.StatusOK || accepted {
+		t.Fatalf("stale claim: code %d accepted %v, want refused", code, accepted)
+	}
+	if code, _ := claim(`{"job_id":"","owner":"","generation":0}`); code != http.StatusBadRequest {
+		t.Fatalf("empty claim code = %d, want 400", code)
+	}
+	if code, _ := claim(`{not json`); code != http.StatusBadRequest {
+		t.Fatalf("garbage claim code = %d, want 400", code)
+	}
+
+	// Without a LeaseTable (plain Membership, or no cluster at all) the
+	// endpoint refuses rather than silently dropping claims.
+	bare := httptest.NewServer(NewHandlerConfig(mgr, Config{Cluster: &fakeMembership{}}))
+	defer bare.Close()
+	resp, err := http.Post(bare.URL+"/peer/jobs/claim", "application/json", strings.NewReader(string(lb)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("claim without lease table = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestGossipCarriesLeasesAndTombstones: /peer/members (and hello) ship
+// the lease table and tombstones when the registry keeps them — the
+// vehicle that spreads leadership and decommissions cluster-wide.
+func TestGossipCarriesLeasesAndTombstones(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(store, nil, 1)
+	defer mgr.Close()
+	sp := Spec{N: 8, Alphas: []float64{1}, Ks: []int{2}, Seeds: 1}
+	sp.Normalize()
+	fm := &fakeLeaseMembership{
+		tombs: []Tombstone{{URL: "http://dead:1", Until: time.Now().Add(time.Hour)}},
+	}
+	fm.UpdateLease(JobLease{JobID: sp.ID(), Spec: sp, Owner: "http://a:1", Generation: 1})
+	srv := httptest.NewServer(NewHandlerConfig(mgr, Config{Cluster: fm}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/peer/members")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mr MembersResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(mr.Leases) != 1 || mr.Leases[0].JobID != sp.ID() || mr.Leases[0].Generation != 1 {
+		t.Fatalf("gossip leases = %+v", mr.Leases)
+	}
+	if mr.Leases[0].Spec.ID() != sp.ID() {
+		t.Fatal("gossiped lease spec does not round-trip")
+	}
+	if len(mr.Tombstones) != 1 || mr.Tombstones[0].URL != "http://dead:1" {
+		t.Fatalf("gossip tombstones = %+v", mr.Tombstones)
+	}
+}
+
+// fakeSubmitter scripts SubmitSweep outcomes to exercise the POST
+// /sweeps HTTP mapping without a live scheduler.
+type fakeSubmitter struct {
+	placed PlacedJob
+	err    error
+	specs  []Spec
+}
+
+func (f *fakeSubmitter) SubmitSweep(_ context.Context, sp Spec) (PlacedJob, error) {
+	sp.Normalize() // the real scheduler normalizes before placing
+	f.specs = append(f.specs, sp)
+	return f.placed, f.err
+}
+
+// TestSubmitThroughScheduler: with a Submitter configured, POST /sweeps
+// reports remote placement via X-Sweep-Placement + Location, keeps
+// local placement header-free, and turns RedirectError into a 307.
+func TestSubmitThroughScheduler(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(store, nil, 1)
+	defer mgr.Close()
+	sp := Spec{N: 8, Alphas: []float64{1}, Ks: []int{2}, Seeds: 1}
+	sp.Normalize()
+	body := `{"n":8,"alphas":[1],"ks":[2],"seeds":1}`
+
+	post := func(fs *fakeSubmitter) *http.Response {
+		t.Helper()
+		srv := httptest.NewServer(NewHandlerConfig(mgr, Config{Sched: fs}))
+		defer srv.Close()
+		client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse // surface the 307 itself
+		}}
+		resp, err := client.Post(srv.URL+"/sweeps", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		return resp
+	}
+
+	remote := &fakeSubmitter{placed: PlacedJob{
+		Job: Job{ID: sp.ID(), Spec: sp, Status: StatusRunning}, Created: true, PlacedOn: "http://peer:1",
+	}}
+	resp := post(remote)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("remote placement status = %d, want 202", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Sweep-Placement"); got != "http://peer:1" {
+		t.Fatalf("X-Sweep-Placement = %q", got)
+	}
+	if got := resp.Header.Get("Location"); got != "http://peer:1/sweeps/"+sp.ID() {
+		t.Fatalf("Location = %q", got)
+	}
+	if len(remote.specs) != 1 || remote.specs[0].ID() != sp.ID() {
+		t.Fatalf("scheduler saw specs %+v", remote.specs)
+	}
+
+	local := &fakeSubmitter{placed: PlacedJob{
+		Job: Job{ID: sp.ID(), Spec: sp, Status: StatusRunning}, Created: false,
+	}}
+	resp = post(local)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("local placement status = %d, want 200", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Sweep-Placement") != "" {
+		t.Fatal("local placement leaked a placement header")
+	}
+
+	full := &fakeSubmitter{err: &RedirectError{URL: "http://peer:2"}}
+	resp = post(full)
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("redirect status = %d, want 307", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Location"); got != "http://peer:2/sweeps" {
+		t.Fatalf("redirect Location = %q", got)
+	}
+
+	quota := &fakeSubmitter{err: ErrJobQuota}
+	resp = post(quota)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("quota status = %d, want 429", resp.StatusCode)
+	}
+}
+
+// TestHealthzAdvertisesLoad: /healthz carries the load snapshot peers
+// cache for placement, and the sched section when stats are wired.
+func TestHealthzAdvertisesLoad(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(store, nil, 3)
+	defer mgr.Close()
+	srv := httptest.NewServer(NewHandlerConfig(mgr, Config{
+		SchedStats: func() SchedStats { return SchedStats{Adoptions: 4} },
+	}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Load  *LoadInfo  `json:"load"`
+		Sched SchedStats `json:"sched"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if payload.Load == nil {
+		t.Fatal("healthz has no load section")
+	}
+	if payload.Load.QueueDepth != 0 || payload.Load.RunningJobs != 0 {
+		t.Fatalf("idle daemon advertises load %+v", payload.Load)
+	}
+	if payload.Sched.Adoptions != 4 {
+		t.Fatalf("healthz sched = %+v", payload.Sched)
+	}
+
+	mb, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(mb.Body)
+	mb.Body.Close()
+	if !strings.Contains(string(raw), "sweepd_sched_adoptions_total 4") {
+		t.Fatalf("metrics missing sched counters:\n%s", raw)
+	}
+}

@@ -46,8 +46,18 @@ type Config struct {
 	// Cluster, when set, enables the membership endpoints (POST
 	// /peer/hello, GET /peer/members) and the per-peer state gauges;
 	// cmd/ncg-server wires it to the cluster.Registry. Nil means the
-	// membership endpoints answer 503.
+	// membership endpoints answer 503. When the value also implements
+	// LeaseTable (cluster.Registry does), the gossip payload carries
+	// job leases and tombstones and POST /peer/jobs/claim is live.
 	Cluster Membership
+	// Sched, when set, routes POST /sweeps through the cluster
+	// scheduler (capacity-aware placement, forwarding); cmd/ncg-server
+	// wires it to the sched.Scheduler. Nil means submissions always
+	// run locally.
+	Sched Submitter
+	// SchedStats, when set, feeds the scheduler counters (forwards,
+	// adoptions, leadership losses) into /metrics and /healthz.
+	SchedStats func() SchedStats
 	// now is the rate limiter's clock; tests inject a fake.
 	now func() time.Time
 }
@@ -75,6 +85,10 @@ type handler struct {
 	peerStats        func() PeerStats
 	// cluster serves the membership endpoints (nil = not clustered).
 	cluster Membership
+	// sched places submissions cluster-wide (nil = always local);
+	// schedStats snapshots its counters for /metrics and /healthz.
+	sched      Submitter
+	schedStats func() SchedStats
 
 	mu        sync.Mutex
 	summaries map[string]*summaryState
@@ -173,7 +187,13 @@ func (h *handler) rateLimit(next http.Handler) http.Handler {
 //	POST   /peer/hello          a booting daemon announces its advertise URL
 //	                            and is registered as an alive member
 //	GET    /peer/members        this daemon's member table (self first), the
-//	                            relay half of one-hop gossip
+//	                            relay half of one-hop gossip; carries job
+//	                            leases and tombstones when scheduling is on
+//	POST   /peer/jobs           submit a Spec for local execution, bypassing
+//	                            the scheduler (the receiving half of a
+//	                            cluster forward)
+//	POST   /peer/jobs/claim     an adopter announces its new job lease so
+//	                            peers converge before the next gossip cycle
 //	GET    /healthz             liveness + job/cache counters
 //	GET    /metrics             Prometheus text-format counters
 func NewHandler(m *Manager) http.Handler {
@@ -212,6 +232,8 @@ func buildHandler(m *Manager, cfg Config) (*handler, http.Handler) {
 		peerBucket:        newTokenBucket(cfg.PeerRate, cfg.now),
 		peerStats:         cfg.PeerStats,
 		cluster:           cfg.Cluster,
+		sched:             cfg.Sched,
+		schedStats:        cfg.SchedStats,
 		summaries:         make(map[string]*summaryState),
 	}
 	// Job GC must release the per-job summary state too, or the daemon
@@ -234,6 +256,8 @@ func buildHandler(m *Manager, cfg Config) (*handler, http.Handler) {
 	mux.HandleFunc("POST /peer/leases", h.peerLease)
 	mux.HandleFunc("POST /peer/hello", h.peerHello)
 	mux.HandleFunc("GET /peer/members", h.peerMembers)
+	mux.HandleFunc("POST /peer/jobs", h.peerSubmit)
+	mux.HandleFunc("POST /peer/jobs/claim", h.peerClaim)
 	return h, h.rateLimit(mux)
 }
 
@@ -251,12 +275,18 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 		"jobs":           total,
 		"jobs_by_status": ms.Jobs,
 		"cache":          h.m.CacheStats(),
+		// The capacity advertisement: peers cache this per-member from
+		// their probe replies and place submissions on the least loaded.
+		"load": h.m.Load(),
 	}
 	if h.peerStats != nil {
 		payload["peers"] = h.peerStats()
 	}
 	if h.cluster != nil {
 		payload["cluster"] = h.cluster.ClusterStats()
+	}
+	if h.schedStats != nil {
+		payload["sched"] = h.schedStats()
 	}
 	writeJSON(w, http.StatusOK, payload)
 }
@@ -285,7 +315,20 @@ func (h *handler) peerHello(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.cluster.Hello(adv)
-	writeJSON(w, http.StatusOK, MembersResponse{Members: h.cluster.Members()})
+	writeJSON(w, http.StatusOK, h.gossipPayload())
+}
+
+// gossipPayload builds the hello/members reply: the member table, plus
+// job leases and tombstones when the registry keeps them (it does when
+// scheduling is enabled) — the vehicle that spreads leadership state
+// and decommissions cluster-wide.
+func (h *handler) gossipPayload() MembersResponse {
+	mr := MembersResponse{Members: h.cluster.Members()}
+	if lt, ok := h.cluster.(LeaseTable); ok {
+		mr.Leases = lt.Leases()
+		mr.Tombstones = lt.Tombstones()
+	}
+	return mr
 }
 
 // peerMembers serves GET /peer/members: the member table, self first —
@@ -295,32 +338,38 @@ func (h *handler) peerMembers(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "cluster membership not enabled on this daemon")
 		return
 	}
-	writeJSON(w, http.StatusOK, MembersResponse{Members: h.cluster.Members()})
+	writeJSON(w, http.StatusOK, h.gossipPayload())
 }
 
-func (h *handler) submit(w http.ResponseWriter, r *http.Request) {
+// decodeSpec reads exactly one Spec JSON value from the request body,
+// answering 400 itself on malformed input.
+func decodeSpec(w http.ResponseWriter, r *http.Request) (Spec, bool) {
 	var sp Spec
 	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&sp); err != nil {
 		writeError(w, http.StatusBadRequest, "bad spec JSON: "+err.Error())
-		return
+		return Spec{}, false
 	}
 	// Exactly one JSON value: a body like {"n":10}{"garbage":true} must
 	// not be silently accepted on the strength of its first value.
 	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
 		writeError(w, http.StatusBadRequest, "trailing data after spec JSON")
-		return
+		return Spec{}, false
 	}
-	job, created, err := h.m.Submit(sp)
+	return sp, true
+}
+
+// writeSubmitResult maps a submission outcome onto the wire: 429 for
+// the -max-jobs quota, 500 for store failures (the server's disk, not
+// the client's request), 400 for bad specs, 202 created / 200 existing.
+func (h *handler) writeSubmitResult(w http.ResponseWriter, job Job, created bool, err error) {
 	switch {
 	case errors.Is(err, ErrJobQuota):
 		h.quotaRejections.Add(1)
 		writeError(w, http.StatusTooManyRequests, err.Error())
 		return
 	case errors.Is(err, ErrStore):
-		// The store failing to persist a valid spec is the server's disk,
-		// not the client's request.
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	case err != nil:
@@ -332,6 +381,72 @@ func (h *handler) submit(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusAccepted
 	}
 	writeJSON(w, code, job)
+}
+
+func (h *handler) submit(w http.ResponseWriter, r *http.Request) {
+	sp, ok := decodeSpec(w, r)
+	if !ok {
+		return
+	}
+	if h.sched == nil {
+		job, created, err := h.m.Submit(sp)
+		h.writeSubmitResult(w, job, created, err)
+		return
+	}
+	placed, err := h.sched.SubmitSweep(r.Context(), sp)
+	var redir *RedirectError
+	if errors.As(err, &redir) {
+		// Placement chose a peer but neither the forward nor local
+		// admission could land the job; hand the client the peer's
+		// submit endpoint to retry directly.
+		w.Header().Set("Location", redir.URL+"/sweeps")
+		writeError(w, http.StatusTemporaryRedirect,
+			"sweep could not be placed here; resubmit to "+redir.URL)
+		return
+	}
+	if err == nil && placed.PlacedOn != "" {
+		// The job runs on a peer: point clients at the authoritative
+		// copy and expose the placement decision for tooling.
+		w.Header().Set("X-Sweep-Placement", placed.PlacedOn)
+		w.Header().Set("Location", placed.PlacedOn+"/sweeps/"+placed.Job.ID)
+	}
+	h.writeSubmitResult(w, placed.Job, placed.Created, err)
+}
+
+// peerSubmit serves POST /peer/jobs: the receiving half of a scheduler
+// forward. It always admits locally — never re-forwards — so a spec
+// cannot ping-pong between two members whose load views disagree.
+func (h *handler) peerSubmit(w http.ResponseWriter, r *http.Request) {
+	sp, ok := decodeSpec(w, r)
+	if !ok {
+		return
+	}
+	job, created, err := h.m.Submit(sp)
+	h.writeSubmitResult(w, job, created, err)
+}
+
+// peerClaim serves POST /peer/jobs/claim: an adopter pushes its new
+// lease so this member learns the leadership change (and a zombie
+// ex-leader cedes) before the next gossip cycle. The generation guard
+// in the lease table decides acceptance.
+func (h *handler) peerClaim(w http.ResponseWriter, r *http.Request) {
+	lt, ok := h.cluster.(LeaseTable)
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "cluster scheduling not enabled on this daemon")
+		return
+	}
+	var lease JobLease
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&lease); err != nil {
+		writeError(w, http.StatusBadRequest, "bad lease JSON: "+err.Error())
+		return
+	}
+	if lease.JobID == "" || lease.Owner == "" || lease.Generation == 0 {
+		writeError(w, http.StatusBadRequest, "lease needs job_id, owner, and a nonzero generation")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"accepted": lt.UpdateLease(lease)})
 }
 
 func (h *handler) list(w http.ResponseWriter, r *http.Request) {
@@ -893,6 +1008,30 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP sweepd_cluster_readmissions_total Down peers revived by a successful probe or hello.\n")
 		fmt.Fprintf(w, "# TYPE sweepd_cluster_readmissions_total counter\n")
 		fmt.Fprintf(w, "sweepd_cluster_readmissions_total %d\n", cl.Readmissions)
+		fmt.Fprintf(w, "# HELP sweepd_cluster_tombstones Decommissioned member URLs currently barred from gossip resurrection.\n")
+		fmt.Fprintf(w, "# TYPE sweepd_cluster_tombstones gauge\n")
+		fmt.Fprintf(w, "sweepd_cluster_tombstones %d\n", cl.Tombstones)
+		fmt.Fprintf(w, "# HELP sweepd_cluster_tombstoned_total Members decommissioned after staying down past the tombstone deadline.\n")
+		fmt.Fprintf(w, "# TYPE sweepd_cluster_tombstoned_total counter\n")
+		fmt.Fprintf(w, "sweepd_cluster_tombstoned_total %d\n", cl.Tombstoned)
+		fmt.Fprintf(w, "# HELP sweepd_cluster_job_leases Job leadership leases in this member's table.\n")
+		fmt.Fprintf(w, "# TYPE sweepd_cluster_job_leases gauge\n")
+		fmt.Fprintf(w, "sweepd_cluster_job_leases %d\n", cl.Leases)
+	}
+	if h.schedStats != nil {
+		ss := h.schedStats()
+		fmt.Fprintf(w, "# HELP sweepd_sched_forwards_total Submissions forwarded to a less-loaded member.\n")
+		fmt.Fprintf(w, "# TYPE sweepd_sched_forwards_total counter\n")
+		fmt.Fprintf(w, "sweepd_sched_forwards_total %d\n", ss.Forwards)
+		fmt.Fprintf(w, "# HELP sweepd_sched_forward_failures_total Forwards that failed and fell back to local admission.\n")
+		fmt.Fprintf(w, "# TYPE sweepd_sched_forward_failures_total counter\n")
+		fmt.Fprintf(w, "sweepd_sched_forward_failures_total %d\n", ss.ForwardFailures)
+		fmt.Fprintf(w, "# HELP sweepd_sched_adoptions_total Orphaned jobs this member adopted from dead leaders.\n")
+		fmt.Fprintf(w, "# TYPE sweepd_sched_adoptions_total counter\n")
+		fmt.Fprintf(w, "sweepd_sched_adoptions_total %d\n", ss.Adoptions)
+		fmt.Fprintf(w, "# HELP sweepd_sched_leadership_lost_total Local jobs ceded to a peer holding a newer lease generation.\n")
+		fmt.Fprintf(w, "# TYPE sweepd_sched_leadership_lost_total counter\n")
+		fmt.Fprintf(w, "sweepd_sched_leadership_lost_total %d\n", ss.LeadershipLost)
 	}
 	// Per-job cell wall-time histograms (locally computed cells only).
 	// Jobs with no observations are skipped, and evicted jobs drop their

@@ -9,8 +9,6 @@ import (
 	"io"
 	"net"
 	"net/http"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -274,28 +272,6 @@ func (e *executor) recordRemote(cells int) {
 	}
 }
 
-// retryAfter reads a 429's Retry-After hint — RFC 7231 allows both
-// delta-seconds ("120") and an HTTP-date ("Wed, 21 Oct 2015 07:28:00
-// GMT") — clamped to [100ms, max]: a zero, past, absent, or malformed
-// hint must not produce a busy-loop, and no hint may outwait max.
-func retryAfter(resp *http.Response, now time.Time, max time.Duration) time.Duration {
-	wait := time.Second
-	if s := strings.TrimSpace(resp.Header.Get("Retry-After")); s != "" {
-		if secs, err := strconv.Atoi(s); err == nil {
-			wait = time.Duration(secs) * time.Second
-		} else if at, err := http.ParseTime(s); err == nil {
-			wait = at.Sub(now)
-		}
-	}
-	if wait < 100*time.Millisecond {
-		wait = 100 * time.Millisecond
-	}
-	if wait > max {
-		wait = max
-	}
-	return wait
-}
-
 // lease asks one peer for [cr.start, cr.end) and streams the results
 // into send as they arrive, returning how many cells were delivered. The
 // TTL watchdog cancels a stream that goes silent (no result lines and no
@@ -331,7 +307,7 @@ func (e *executor) lease(ctx context.Context, peer string, cr cellRange, cells [
 		}
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck // drain for reuse
 		resp.Body.Close()
-		wait := retryAfter(resp, time.Now(), ttl)
+		wait := sweepd.RetryAfter(resp, time.Now(), ttl)
 		watchdog.Reset(wait + ttl)
 		select {
 		case <-time.After(wait):

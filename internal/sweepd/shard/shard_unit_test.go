@@ -1,8 +1,9 @@
 package shard
 
-// In-package unit tests for the lease plumbing: Retry-After parsing
-// (both RFC 7231 forms), peer-URL normalization and dedup in New, and
-// the default client's bounded connection establishment.
+// In-package unit tests for the lease plumbing: peer-URL normalization
+// and dedup in New, and the default client's bounded connection
+// establishment. (Retry-After parsing moved to sweepd.RetryAfter and
+// is tested there.)
 
 import (
 	"context"
@@ -14,44 +15,6 @@ import (
 	"repro/internal/dynamics"
 	"repro/internal/sweepd"
 )
-
-func respWithRetryAfter(v string) *http.Response {
-	h := http.Header{}
-	if v != "" {
-		h.Set("Retry-After", v)
-	}
-	return &http.Response{Header: h}
-}
-
-// TestRetryAfterForms covers both wire forms of Retry-After plus the
-// clamps: delta-seconds, HTTP-date (the form the old parser silently
-// dropped, falling back to 1s), and absent/garbage/past values.
-func TestRetryAfterForms(t *testing.T) {
-	now := time.Date(2026, 7, 28, 12, 0, 0, 0, time.UTC)
-	max := 30 * time.Second
-	cases := []struct {
-		name   string
-		header string
-		want   time.Duration
-	}{
-		{"absent defaults to 1s", "", time.Second},
-		{"delta seconds", "7", 7 * time.Second},
-		{"delta zero clamps up", "0", 100 * time.Millisecond},
-		{"delta beyond max clamps down", "3600", max},
-		{"http date", now.Add(5 * time.Second).UTC().Format(http.TimeFormat), 5 * time.Second},
-		{"http date beyond max clamps down", now.Add(10 * time.Minute).UTC().Format(http.TimeFormat), max},
-		{"http date in the past clamps up", now.Add(-time.Minute).UTC().Format(http.TimeFormat), 100 * time.Millisecond},
-		{"surrounding space tolerated", "  9  ", 9 * time.Second},
-		{"garbage defaults to 1s", "soon", time.Second},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			if got := retryAfter(respWithRetryAfter(tc.header), now, max); got != tc.want {
-				t.Fatalf("retryAfter(%q) = %v, want %v", tc.header, got, tc.want)
-			}
-		})
-	}
-}
 
 // TestNewNormalizesAndDedupes: programmatic construction gets the same
 // URL hygiene as the -peers flag — "http://a:1/" must not produce
