@@ -8,7 +8,7 @@
 //	           [-job-ttl 24h] [-gc-interval 1m] [-max-jobs 4096] [-rate 0]
 //	           [-peers URL,URL,...] [-peer-lease 64] [-peer-ttl 45s] [-peer-rate 0]
 //	           [-advertise URL] [-probe-interval 5s] [-peer-backoff-max 2m]
-//	           [-schedule] [-adopt-after 30s] [-tombstone-after 30m]
+//	           [-schedule] [-adopt-after 30s] [-tombstone-after 30m] [-pprof]
 //
 // Clustering: every daemon serves POST /peer/leases, computing contiguous
 // cell ranges for remote leaders on its own worker pool (lease work draws
@@ -88,6 +88,8 @@
 //	POST   /peer/jobs/claim     an adopter announces a job's new lease
 //	GET    /healthz             liveness + cache + cluster stats
 //	GET    /metrics             Prometheus text-format counters
+//	GET    /debug/pprof/        net/http/pprof profiles (only with -pprof;
+//	                            exempt from -rate like /healthz)
 package main
 
 import (
@@ -97,6 +99,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -138,6 +141,7 @@ func main() {
 		schedule   = flag.Bool("schedule", true, "place submitted sweeps on the least-loaded alive member and adopt jobs whose leader dies")
 		adoptAfter = flag.Duration("adopt-after", 30*time.Second, "adopt a job whose leader's lease has gone stale for this long")
 		tombAfter  = flag.Duration("tombstone-after", 30*time.Minute, "decommission a member down this long: drop it under a gossiped tombstone (0 disables)")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default; exempt from -rate like /healthz)")
 	)
 	flag.Parse()
 
@@ -209,7 +213,23 @@ func main() {
 		log.Printf("cluster membership: advertise=%q, %d seed peer(s): %s",
 			*advertise, len(seeds), strings.Join(seeds, ", "))
 	}
-	handler := sweepd.NewHandlerConfig(mgr, cfg)
+	var handler http.Handler = sweepd.NewHandlerConfig(mgr, cfg)
+	if *pprofOn {
+		// An outer mux routes the profiling endpoints before the sweepd
+		// handler, so they get their own rate-limit exemption (like
+		// /healthz: a profile grab during an incident must not compete
+		// with — or be 429'd by — API traffic). Off by default: pprof
+		// exposes heap contents and must be opted into per deployment.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Print("pprof enabled at /debug/pprof/")
+	}
 	if err := mgr.Resume(); err != nil {
 		log.Fatalf("resuming jobs: %v", err)
 	}

@@ -67,13 +67,14 @@ func Analyze(s *game.State, cfg dynamics.Config) Report {
 	} else {
 		r.TheoryLower = bounds.SumLowerBound(s.N(), cfg.K, cfg.Alpha)
 	}
+	responder := cfg.ResolveResponder()
 	for u := 0; u < s.N(); u++ {
-		resp := cfg.Responder(s, u, cfg.K, cfg.Alpha)
+		resp := responder(s, u, cfg.K, cfg.Alpha)
 		pr := PlayerReport{
 			Player:     u,
 			Bought:     s.BoughtCount(u),
 			Degree:     g.Degree(u),
-			ViewSize:   view.Extract(g, u, cfg.K).Size(),
+			ViewSize:   view.BallSize(g, u, cfg.K),
 			Cost:       costs[u],
 			BestCost:   resp.Cost,
 			Improvable: resp.Improving,

@@ -1,10 +1,7 @@
 package bestresponse
 
 import (
-	"sort"
-
 	"repro/internal/game"
-	"repro/internal/view"
 )
 
 // MaxGreedyResponse looks for an improving MAXNCG move among single-edge
@@ -14,58 +11,8 @@ import (
 // view-restricted worst-case rule as the exact responder (Prop. 2.1) and
 // returns the best single-move improvement, or Improving=false.
 func MaxGreedyResponse(s *game.State, u, k int, alpha float64) Response {
-	current := s.Strategy(u)
-	v := view.Extract(s.Graph(), u, k)
-	cur := currentViewCost(s, v, game.Max, alpha, u)
-
-	bestCost := cur
-	bestStrategy := current
-	improving := false
-	try := func(candidate []int) {
-		c := MaxEvaluate(s, u, k, alpha, candidate)
-		if c < bestCost-epsilon {
-			bestCost = c
-			bestStrategy = candidate
-			improving = true
-		}
-	}
-
-	inCurrent := make(map[int]bool, len(current))
-	for _, w := range current {
-		inCurrent[w] = true
-	}
-	// Additions.
-	for _, orig := range v.Orig {
-		if orig == u || inCurrent[orig] || s.Buys(orig, u) {
-			continue
-		}
-		try(append(append([]int{}, current...), orig))
-	}
-	// Removals.
-	for i := range current {
-		cand := make([]int, 0, len(current)-1)
-		cand = append(cand, current[:i]...)
-		cand = append(cand, current[i+1:]...)
-		try(cand)
-	}
-	// Swaps.
-	for i := range current {
-		base := make([]int, 0, len(current))
-		base = append(base, current[:i]...)
-		base = append(base, current[i+1:]...)
-		for _, orig := range v.Orig {
-			if orig == u || inCurrent[orig] || s.Buys(orig, u) {
-				continue
-			}
-			try(append(append([]int{}, base...), orig))
-		}
-	}
-	out := append([]int(nil), bestStrategy...)
-	sort.Ints(out)
-	return Response{
-		Strategy:    out,
-		Cost:        bestCost,
-		CurrentCost: cur,
-		Improving:   improving,
-	}
+	e := evalPool.Get().(*Evaluator)
+	r := e.MaxGreedyResponse(s, u, k, alpha)
+	evalPool.Put(e)
+	return r
 }

@@ -1,0 +1,474 @@
+package bestresponse
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"repro/internal/game"
+	"repro/internal/graph"
+	"repro/internal/mds"
+	"repro/internal/view"
+)
+
+// Evaluator owns the reusable buffers for computing many responses — the
+// pooled view workspace, the candidate filters, and the MAXNCG
+// all-pairs/bitset machinery. Responses are byte-identical to the
+// package-level functions (which run on a pooled Evaluator themselves);
+// holding one explicitly just keeps a sweep's allocations O(workers)
+// instead of O(moves).
+//
+// An Evaluator is not safe for concurrent use: give each worker its own.
+type Evaluator struct {
+	ws view.Workspace
+
+	// fixed lists the locals whose center edge exists under every
+	// candidate strategy: view vertices that bought an edge towards the
+	// player (removing it is not the player's move).
+	fixed []int32
+	// flags marks locals excluded from greedy candidate loops.
+	flags []uint8
+	// curLoc holds the locals of the current strategy targets.
+	curLoc []int32
+	// edges is the scratch center-edge list handed to ResetBase.
+	edges []int32
+	// cand holds the exhaustive search's candidate locals.
+	cand []int32
+
+	// MAXNCG machinery: all-pairs distances over the center-less view,
+	// one flat bitset slab for the h-power closed neighborhoods, and the
+	// forced-dominator list.
+	restDist []int32
+	row      []int32
+	slab     []uint64
+	nbs      [][]uint64
+	forced   []int
+}
+
+const (
+	flagCurrent uint8 = 1 << iota // local is a current strategy target
+	flagBuysIn                    // local bought an edge towards the player
+)
+
+// NewEvaluator returns an empty Evaluator; buffers grow on first use.
+func NewEvaluator() *Evaluator { return &Evaluator{} }
+
+// evalPool backs the package-level convenience functions.
+var evalPool = sync.Pool{New: func() any { return NewEvaluator() }}
+
+// prepare extracts u's view into the workspace and classifies the
+// center's incident edges.
+func (e *Evaluator) prepare(s *game.State, u, k int) {
+	e.ws.Extract(s.Graph(), u, k)
+	e.fixed = e.fixed[:0]
+	for _, l := range e.ws.CenterAdj {
+		if s.Buys(int(e.ws.Orig[l]), u) {
+			e.fixed = append(e.fixed, l)
+		}
+	}
+}
+
+// SumDelta is the Evaluator form of the package-level SumDelta.
+func (e *Evaluator) SumDelta(s *game.State, u, k int, alpha float64, strategy []int) float64 {
+	e.prepare(s, u, k)
+	e.edges = append(e.edges[:0], e.fixed...)
+	for _, w := range strategy {
+		l := e.ws.LocalOf(w)
+		if l < 0 {
+			return game.InfiniteCost // outside the local strategy space
+		}
+		e.edges = append(e.edges, int32(l))
+	}
+	e.ws.ResetBase(e.edges)
+	sum, ok := e.ws.InnerSum()
+	if !ok {
+		return game.InfiniteCost
+	}
+	return alpha*float64(len(strategy)-s.BoughtCount(u)) + float64(sum-e.ws.InnerBase())
+}
+
+// growFlags sizes and zero-fills assumptions for the per-local filter.
+func (e *Evaluator) growFlags(b int) {
+	if cap(e.flags) < b {
+		e.flags = make([]uint8, b)
+	}
+	e.flags = e.flags[:b]
+}
+
+// markCandidates fills flags and curLoc for a greedy scan over the
+// current strategy; the caller must clearFlags afterwards.
+func (e *Evaluator) markCandidates(s *game.State, u int, current []int) {
+	e.growFlags(e.ws.Size())
+	for _, l := range e.fixed {
+		e.flags[l] |= flagBuysIn
+	}
+	e.curLoc = e.curLoc[:0]
+	for _, w := range current {
+		// Strategy targets are at distance 1, hence always in the view.
+		l := int32(e.ws.LocalOf(w))
+		e.curLoc = append(e.curLoc, l)
+		e.flags[l] |= flagCurrent
+	}
+}
+
+func (e *Evaluator) clearFlags() {
+	for _, l := range e.fixed {
+		e.flags[l] = 0
+	}
+	for _, l := range e.curLoc {
+		e.flags[l] = 0
+	}
+}
+
+// baseWithout fills e.edges with fixed ∪ curLoc minus curLoc[i].
+func (e *Evaluator) baseWithout(i int) {
+	e.edges = append(e.edges[:0], e.fixed...)
+	e.edges = append(e.edges, e.curLoc[:i]...)
+	e.edges = append(e.edges, e.curLoc[i+1:]...)
+}
+
+// move identifies the best greedy move found so far.
+type move struct {
+	kind int // 0 none, 1 add, 2 remove, 3 swap
+	i    int // index into current (remove/swap)
+	l    int32
+}
+
+// materialize turns a greedy move into a fresh sorted global strategy.
+func (e *Evaluator) materialize(current []int, m move) []int {
+	switch m.kind {
+	case 1: // add
+		out := make([]int, 0, len(current)+1)
+		out = append(out, current...)
+		out = append(out, int(e.ws.Orig[m.l]))
+		sort.Ints(out)
+		return out
+	case 2: // remove
+		out := make([]int, 0, len(current)-1)
+		out = append(out, current[:m.i]...)
+		out = append(out, current[m.i+1:]...)
+		return out // current is sorted, so the remainder is too
+	case 3: // swap
+		out := make([]int, 0, len(current))
+		out = append(out, current[:m.i]...)
+		out = append(out, current[m.i+1:]...)
+		out = append(out, int(e.ws.Orig[m.l]))
+		sort.Ints(out)
+		return out
+	default:
+		return append([]int(nil), current...)
+	}
+}
+
+// greedyScan runs the shared single-move loop (additions, removals,
+// swaps — in exactly that candidate order) over the workspace, scoring
+// each candidate with eval(candLen) on the workspace's maintained state.
+// The strict epsilon tie-break keeps the earliest best candidate, like
+// the reference implementations.
+func (e *Evaluator) greedyScan(current []int, bestScore float64, eval func(candLen int) float64) (float64, move, bool) {
+	b := e.ws.Size()
+	best := move{}
+	improving := false
+	consider := func(score float64, m move) {
+		if score < bestScore-epsilon {
+			bestScore = score
+			best = m
+			improving = true
+		}
+	}
+	// Additions.
+	e.edges = append(e.edges[:0], e.fixed...)
+	e.edges = append(e.edges, e.curLoc...)
+	e.ws.ResetBase(e.edges)
+	for l := 1; l < b; l++ {
+		if e.flags[l] != 0 {
+			continue
+		}
+		mark := e.ws.Mark()
+		e.ws.AddEdgeRelax(int32(l))
+		d := eval(len(current) + 1)
+		e.ws.Undo(mark)
+		consider(d, move{kind: 1, l: int32(l)})
+	}
+	// Removals.
+	for i := range current {
+		e.baseWithout(i)
+		e.ws.ResetBase(e.edges)
+		consider(eval(len(current)-1), move{kind: 2, i: i})
+	}
+	// Swaps.
+	for i := range current {
+		e.baseWithout(i)
+		e.ws.ResetBase(e.edges)
+		for l := 1; l < b; l++ {
+			if e.flags[l] != 0 {
+				continue
+			}
+			mark := e.ws.Mark()
+			e.ws.AddEdgeRelax(int32(l))
+			d := eval(len(current))
+			e.ws.Undo(mark)
+			consider(d, move{kind: 3, i: i, l: int32(l)})
+		}
+	}
+	return bestScore, best, improving
+}
+
+// SumGreedyResponse is the Evaluator form of the package-level
+// SumGreedyResponse.
+func (e *Evaluator) SumGreedyResponse(s *game.State, u, k int, alpha float64) Response {
+	current := s.Strategy(u)
+	if k == 0 && len(current) > 0 {
+		// Radius zero puts the current targets outside the view; the
+		// incremental scan assumes they are in it (they sit at distance 1
+		// for every k >= 1), so this corner runs on the reference.
+		return refSumGreedyResponse(s, u, k, alpha)
+	}
+	e.prepare(s, u, k)
+	e.markCandidates(s, u, current)
+	bought := s.BoughtCount(u)
+	eval := func(candLen int) float64 {
+		sum, ok := e.ws.InnerSum()
+		if !ok {
+			return game.InfiniteCost
+		}
+		return alpha*float64(candLen-bought) + float64(sum-e.ws.InnerBase())
+	}
+	bestDelta, best, improving := e.greedyScan(current, 0.0, eval)
+	e.clearFlags()
+	return Response{
+		Strategy:    e.materialize(current, best),
+		Cost:        bestDelta,
+		CurrentCost: 0,
+		Improving:   improving,
+	}
+}
+
+// SumBestResponseExhaustive is the Evaluator form of the package-level
+// SumBestResponseExhaustive.
+func (e *Evaluator) SumBestResponseExhaustive(s *game.State, u, k int, alpha float64, maxCandidates int) SumExhaustiveResult {
+	e.prepare(s, u, k)
+	b := e.ws.Size()
+	e.cand = e.cand[:0]
+	for l := 1; l < b; l++ {
+		if s.Buys(int(e.ws.Orig[l]), u) {
+			continue
+		}
+		e.cand = append(e.cand, int32(l))
+	}
+	if len(e.cand) > maxCandidates {
+		return SumExhaustiveResult{Feasible: false}
+	}
+	bought := s.BoughtCount(u)
+	e.ws.ResetBase(e.fixed)
+	bestDelta := 0.0
+	bestMask := -1
+	improving := false
+	for mask := 0; mask < 1<<len(e.cand); mask++ {
+		e.edges = e.edges[:0]
+		for i, l := range e.cand {
+			if mask&(1<<i) != 0 {
+				e.edges = append(e.edges, l)
+			}
+		}
+		mark := e.ws.Mark()
+		e.ws.AddEdgesRelax(e.edges)
+		d := game.InfiniteCost
+		if sum, ok := e.ws.InnerSum(); ok {
+			d = alpha*float64(len(e.edges)-bought) + float64(sum-e.ws.InnerBase())
+		}
+		e.ws.Undo(mark)
+		if d < bestDelta-epsilon {
+			bestDelta = d
+			bestMask = mask
+			improving = true
+		}
+	}
+	var bestStrategy []int
+	if bestMask < 0 {
+		bestStrategy = s.Strategy(u) // already sorted
+	} else {
+		bestStrategy = make([]int, 0, bits.OnesCount(uint(bestMask)))
+		for i, l := range e.cand {
+			if bestMask&(1<<i) != 0 {
+				bestStrategy = append(bestStrategy, int(e.ws.Orig[l]))
+			}
+		}
+		sort.Ints(bestStrategy)
+	}
+	return SumExhaustiveResult{
+		Response: Response{
+			Strategy:    bestStrategy,
+			Cost:        bestDelta,
+			CurrentCost: 0,
+			Improving:   improving,
+		},
+		Feasible: true,
+	}
+}
+
+// MaxBestResponse is the Evaluator form of the package-level
+// MaxBestResponse.
+func (e *Evaluator) MaxBestResponse(s *game.State, u, k int, alpha float64) Response {
+	e.prepare(s, u, k)
+	cur := alpha*float64(s.BoughtCount(u)) + float64(e.ws.ViewEcc())
+	rB := e.ws.Size() - 1 // the center-less view H∖{u}; rest j = local j+1
+	if rB == 0 {
+		// Lone player: buying nothing is the unique (vacuous) strategy.
+		return Response{Strategy: []int{}, Cost: 0, CurrentCost: cur, Improving: cur > epsilon}
+	}
+
+	// Forced dominators: view vertices that bought an edge towards u.
+	e.forced = e.forced[:0]
+	for j := 0; j < rB; j++ {
+		if s.Buys(int(e.ws.Orig[j+1]), u) {
+			e.forced = append(e.forced, j)
+		}
+	}
+
+	// All-pairs distances over H∖{u}, computed once: the ball CSR already
+	// excludes the center, so a plain BFS per vertex is exactly the
+	// center-less metric the h-power dominating-set reduction needs.
+	if cap(e.restDist) < rB*rB {
+		e.restDist = make([]int32, rB*rB)
+	}
+	e.restDist = e.restDist[:rB*rB]
+	if cap(e.row) < rB+1 {
+		e.row = make([]int32, rB+1)
+	}
+	e.row = e.row[:rB+1]
+	for j := 0; j < rB; j++ {
+		e.ws.BallDistFrom(int32(j+1), e.row)
+		copy(e.restDist[j*rB:(j+1)*rB], e.row[1:])
+	}
+
+	maxH := 2*k + 1
+	if maxH > rB {
+		maxH = rB
+	}
+	if maxH < 1 {
+		maxH = 1
+	}
+	words := (rB + 63) / 64
+	if cap(e.slab) < rB*words {
+		e.slab = make([]uint64, rB*words)
+	}
+	e.slab = e.slab[:rB*words]
+	if cap(e.nbs) < rB {
+		e.nbs = make([][]uint64, rB)
+	}
+	e.nbs = e.nbs[:rB]
+	for j := range e.nbs {
+		e.nbs[j] = e.slab[j*words : (j+1)*words]
+	}
+
+	// Descending h with the incumbent cap, exactly like the reference:
+	// identical neighborhoods feed an identical branch-and-bound.
+	bestCost := cur
+	var bestSet []int
+	improved := false
+	for h := maxH; h >= 1; h-- {
+		if float64(h) >= bestCost-epsilon {
+			continue // cost >= h can no longer improve on the incumbent
+		}
+		limit := rB + 1
+		if alpha > 0 {
+			useful := (bestCost - float64(h)) / alpha
+			if c := int(math.Ceil(useful)); c < limit {
+				limit = c
+			}
+		}
+		// Closed neighborhoods of the (h-1)-th power: {i : d(j,i) <= h-1}.
+		for i := range e.slab {
+			e.slab[i] = 0
+		}
+		hh := int32(h - 1)
+		for j := 0; j < rB; j++ {
+			row := e.restDist[j*rB : (j+1)*rB]
+			nb := e.nbs[j]
+			for i, d := range row {
+				if d <= hh {
+					nb[i/64] |= 1 << (i % 64)
+				}
+			}
+		}
+		extra, ok := mds.MinDominatingExtraAtMostBitsets(rB, e.nbs, e.forced, limit)
+		if !ok {
+			continue
+		}
+		cost := alpha*float64(len(extra)) + float64(h)
+		if cost < bestCost-epsilon {
+			bestCost = cost
+			bestSet = extra
+			improved = true
+		}
+	}
+
+	if !improved {
+		return Response{
+			Strategy:    s.Strategy(u),
+			Cost:        cur,
+			CurrentCost: cur,
+			Improving:   false,
+		}
+	}
+	strategy := make([]int, 0, len(bestSet))
+	for _, j := range bestSet {
+		strategy = append(strategy, int(e.ws.Orig[j+1]))
+	}
+	sort.Ints(strategy)
+	return Response{
+		Strategy:    strategy,
+		Cost:        bestCost,
+		CurrentCost: cur,
+		Improving:   true,
+	}
+}
+
+// MaxEvaluate is the Evaluator form of the package-level MaxEvaluate.
+func (e *Evaluator) MaxEvaluate(s *game.State, u, k int, alpha float64, strategy []int) float64 {
+	e.prepare(s, u, k)
+	e.edges = append(e.edges[:0], e.fixed...)
+	for _, w := range strategy {
+		l := e.ws.LocalOf(w)
+		if l < 0 {
+			return game.InfiniteCost // outside the strategy space
+		}
+		e.edges = append(e.edges, int32(l))
+	}
+	e.ws.ResetBase(e.edges)
+	ecc := e.ws.EccAll()
+	if ecc >= graph.Unreachable {
+		return game.InfiniteCost
+	}
+	return alpha*float64(len(strategy)) + float64(ecc)
+}
+
+// MaxGreedyResponse is the Evaluator form of the package-level
+// MaxGreedyResponse.
+func (e *Evaluator) MaxGreedyResponse(s *game.State, u, k int, alpha float64) Response {
+	current := s.Strategy(u)
+	if k == 0 && len(current) > 0 {
+		// Same radius-zero corner as SumGreedyResponse.
+		return refMaxGreedyResponse(s, u, k, alpha)
+	}
+	e.prepare(s, u, k)
+	e.markCandidates(s, u, current)
+	cur := alpha*float64(s.BoughtCount(u)) + float64(e.ws.ViewEcc())
+	eval := func(candLen int) float64 {
+		ecc := e.ws.EccAll()
+		if ecc >= graph.Unreachable {
+			return game.InfiniteCost
+		}
+		return alpha*float64(candLen) + float64(ecc)
+	}
+	bestCost, best, improving := e.greedyScan(current, cur, eval)
+	e.clearFlags()
+	return Response{
+		Strategy:    e.materialize(current, best),
+		Cost:        bestCost,
+		CurrentCost: cur,
+		Improving:   improving,
+	}
+}

@@ -5,16 +5,20 @@
 // constrained MINIMUM DOMINATING SET on powers of the view (§5.3). For
 // SUMNCG, Proposition 2.2 additionally forbids strategies that push
 // frontier vertices beyond distance k.
+//
+// Two implementations coexist. The Evaluator (eval.go) is the hot path:
+// it extracts the player's view once into a pooled view.Workspace and
+// scores every candidate deviation by incremental, undoable distance
+// relaxation — no clone, no full BFS per candidate. The original
+// clone-and-BFS responders are retained in reference.go as the executable
+// specification; the package-level functions run on a pooled Evaluator
+// and return byte-identical responses (same sorted strategies, same
+// epsilon tie-breaks), which differential_test.go enforces on randomized
+// instances.
 package bestresponse
 
 import (
-	"math"
-	"sort"
-
 	"repro/internal/game"
-	"repro/internal/graph"
-	"repro/internal/mds"
-	"repro/internal/view"
 )
 
 // epsilon guards strict-improvement comparisons against float noise in
@@ -50,150 +54,10 @@ type Response struct {
 // would be pure waste) and is exact: no strategy over the view has lower
 // cost.
 func MaxBestResponse(s *game.State, u, k int, alpha float64) Response {
-	v := view.Extract(s.Graph(), u, k)
-	cur := currentViewCost(s, v, game.Max, alpha, u)
-
-	// Build H∖{u} with a local id remap (local ids shift after dropping
-	// the center).
-	rest, restOrig := dropCenter(v)
-	nRest := rest.N()
-	if nRest == 0 {
-		// Lone player: buying nothing is the unique (vacuous) strategy.
-		return Response{Strategy: []int{}, Cost: 0, CurrentCost: cur, Improving: cur > epsilon}
-	}
-
-	// Forced dominators: view vertices that bought an edge towards u.
-	var forced []int
-	for i, orig := range restOrig {
-		if s.Buys(orig, u) {
-			forced = append(forced, i)
-		}
-	}
-
-	// Candidate eccentricities h: d(u,v) = 1 + d_{H∖u}(S∪forced, v), so the
-	// achievable eccentricity range is 1..(1+ecc of any vertex). 2k+1 is a
-	// safe upper bound inside a radius-k view; cap by nRest as well.
-	maxH := 2*k + 1
-	if maxH > nRest {
-		maxH = nRest
-	}
-	if maxH < 1 {
-		maxH = 1
-	}
-
-	// The incumbent starts at the player's CURRENT cost: only strictly
-	// cheaper strategies matter, so every dominating-set search below is
-	// capped at the size that would actually beat it — never proving
-	// optimality of solutions we would discard. Candidate eccentricities
-	// are visited in DESCENDING order so the cap stays tight from the
-	// first iteration (at h = maxH the empty extra set always works).
-	bestCost := cur
-	var bestSet []int
-	improved := false
-	for h := maxH; h >= 1; h-- {
-		if float64(h) >= bestCost-epsilon {
-			continue // cost >= h can no longer improve on the incumbent
-		}
-		limit := nRest + 1
-		if alpha > 0 {
-			useful := (bestCost - float64(h)) / alpha
-			if c := int(math.Ceil(useful)); c < limit {
-				limit = c
-			}
-		}
-		p := rest.Power(h - 1)
-		extra, ok := mds.MinDominatingExtraAtMost(p, forced, limit)
-		if !ok {
-			continue
-		}
-		cost := alpha*float64(len(extra)) + float64(h)
-		if cost < bestCost-epsilon {
-			bestCost = cost
-			bestSet = extra
-			improved = true
-		}
-	}
-
-	if !improved {
-		return Response{
-			Strategy:    s.Strategy(u),
-			Cost:        cur,
-			CurrentCost: cur,
-			Improving:   false,
-		}
-	}
-	strategy := make([]int, 0, len(bestSet))
-	for _, l := range bestSet {
-		strategy = append(strategy, restOrig[l])
-	}
-	sort.Ints(strategy)
-	return Response{
-		Strategy:    strategy,
-		Cost:        bestCost,
-		CurrentCost: cur,
-		Improving:   true,
-	}
-}
-
-// currentViewCost evaluates u's current cost restricted to her view: the
-// building term uses the full strategy (every bought edge costs α even if
-// its endpoint is currently invisible — it was visible when bought and u
-// knows she pays for it), while the usage term is measured on the view,
-// consistent with Propositions 2.1/2.2.
-func currentViewCost(s *game.State, v *view.View, variant game.Variant, alpha float64, u int) float64 {
-	build := alpha * float64(s.BoughtCount(u))
-	switch variant {
-	case game.Max:
-		ecc := 0
-		for _, d := range v.Dist {
-			if d > ecc {
-				ecc = d
-			}
-		}
-		if !connectedView(v) {
-			return game.InfiniteCost
-		}
-		return build + float64(ecc)
-	case game.Sum:
-		sum := 0
-		for _, d := range v.Dist {
-			sum += d
-		}
-		if !connectedView(v) {
-			return game.InfiniteCost
-		}
-		return build + float64(sum)
-	default:
-		panic("bestresponse: unknown variant")
-	}
-}
-
-// connectedView reports whether every view vertex is reachable from the
-// center (true by construction of Extract, kept as a guard).
-func connectedView(v *view.View) bool {
-	for _, d := range v.Dist {
-		if d >= graph.Unreachable {
-			return false
-		}
-	}
-	return true
-}
-
-// dropCenter returns the view graph with the center removed, and the
-// mapping from new local ids to global ids.
-func dropCenter(v *view.View) (*graph.Graph, []int) {
-	var keep []int
-	for i := range v.Orig {
-		if i != v.Center {
-			keep = append(keep, i)
-		}
-	}
-	sub, subOrig := v.H.Induced(keep)
-	orig := make([]int, len(subOrig))
-	for i, localID := range subOrig {
-		orig[i] = v.Orig[localID]
-	}
-	return sub, orig
+	e := evalPool.Get().(*Evaluator)
+	r := e.MaxBestResponse(s, u, k, alpha)
+	evalPool.Put(e)
+	return r
 }
 
 // MaxEvaluate computes the view-restricted MAXNCG cost of an arbitrary
@@ -201,35 +65,8 @@ func dropCenter(v *view.View) (*graph.Graph, []int) {
 // eccentricity of u in the modified view H'. Used by tests and by the LKE
 // auditor to cross-check responder outputs against exhaustive search.
 func MaxEvaluate(s *game.State, u, k int, alpha float64, strategy []int) float64 {
-	v := view.Extract(s.Graph(), u, k)
-	h := v.H.Clone()
-	// Remove u's bought edges, keep edges bought by others towards u.
-	for _, w := range s.Strategy(u) {
-		lw, ok := v.Local[w]
-		if !ok {
-			continue
-		}
-		if !s.Buys(w, u) {
-			h.RemoveEdge(v.Center, lw)
-		}
-	}
-	for _, w := range strategy {
-		lw, ok := v.Local[w]
-		if !ok {
-			return game.InfiniteCost // outside the strategy space
-		}
-		h.AddEdge(v.Center, lw)
-	}
-	dist := make([]int, h.N())
-	h.BFS(v.Center, dist, nil)
-	ecc := 0
-	for _, d := range dist {
-		if d > ecc {
-			ecc = d
-		}
-	}
-	if ecc >= graph.Unreachable {
-		return game.InfiniteCost
-	}
-	return alpha*float64(len(strategy)) + float64(ecc)
+	e := evalPool.Get().(*Evaluator)
+	c := e.MaxEvaluate(s, u, k, alpha, strategy)
+	evalPool.Put(e)
+	return c
 }

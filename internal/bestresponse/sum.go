@@ -1,11 +1,7 @@
 package bestresponse
 
 import (
-	"sort"
-
 	"repro/internal/game"
-	"repro/internal/graph"
-	"repro/internal/view"
 )
 
 // SumDelta evaluates the paper's worst-case cost difference Δ(σ_u, σ'_u)
@@ -19,50 +15,13 @@ import (
 //
 // A strategy is improving exactly when SumDelta < 0.
 func SumDelta(s *game.State, u, k int, alpha float64, strategy []int) float64 {
-	v := view.Extract(s.Graph(), u, k)
-	hPrime := v.H.Clone()
-	for _, w := range s.Strategy(u) {
-		lw, ok := v.Local[w]
-		if !ok {
-			continue
-		}
-		if !s.Buys(w, u) {
-			hPrime.RemoveEdge(v.Center, lw)
-		}
-	}
-	for _, w := range strategy {
-		lw, ok := v.Local[w]
-		if !ok {
-			return game.InfiniteCost // outside the local strategy space
-		}
-		hPrime.AddEdge(v.Center, lw)
-	}
-	newDist := make([]int, hPrime.N())
-	hPrime.BFS(v.Center, newDist, nil)
-
-	// Frontier guard: d_H(u,f) = k must imply d_{H'}(u,f) <= k.
-	for i, d := range v.Dist {
-		if d == v.K && newDist[i] > v.K {
-			return game.InfiniteCost
-		}
-	}
-	delta := alpha * float64(len(strategy)-s.BoughtCount(u))
-	for i, d := range v.Dist {
-		if d < v.K {
-			if newDist[i] >= graph.Unreachable {
-				return game.InfiniteCost
-			}
-			delta += float64(newDist[i] - d)
-		}
-	}
-	return delta
+	e := evalPool.Get().(*Evaluator)
+	d := e.SumDelta(s, u, k, alpha, strategy)
+	evalPool.Put(e)
+	return d
 }
 
-// SumBestResponseExhaustive searches every subset of the view (excluding
-// vertices that already bought an edge towards u, which are free) for the
-// candidate minimizing Δ. Exponential in the view size; callers should
-// gate on MaxCandidates (the number of potential targets), beyond which
-// the zero-valued Response.Improving=false plus Fallback=true is returned.
+// SumExhaustiveResult is the outcome of the exhaustive SUMNCG responder.
 type SumExhaustiveResult struct {
 	Response
 	// Feasible is false when the view exceeded maxCandidates and the
@@ -76,47 +35,10 @@ type SumExhaustiveResult struct {
 // that exist for free). maxCandidates bounds the enumeration (2^c
 // evaluations).
 func SumBestResponseExhaustive(s *game.State, u, k int, alpha float64, maxCandidates int) SumExhaustiveResult {
-	v := view.Extract(s.Graph(), u, k)
-	var candidates []int
-	for i, orig := range v.Orig {
-		if i == v.Center || s.Buys(orig, u) {
-			continue
-		}
-		candidates = append(candidates, orig)
-	}
-	if len(candidates) > maxCandidates {
-		return SumExhaustiveResult{Feasible: false}
-	}
-	bestDelta := 0.0 // the current strategy has Δ = 0 by definition
-	var bestStrategy []int = s.Strategy(u)
-	improving := false
-	for mask := 0; mask < 1<<len(candidates); mask++ {
-		var cand []int
-		for i, w := range candidates {
-			if mask&(1<<i) != 0 {
-				cand = append(cand, w)
-			}
-		}
-		if cand == nil {
-			cand = []int{}
-		}
-		d := SumDelta(s, u, k, alpha, cand)
-		if d < bestDelta-epsilon {
-			bestDelta = d
-			bestStrategy = cand
-			improving = true
-		}
-	}
-	sort.Ints(bestStrategy)
-	return SumExhaustiveResult{
-		Response: Response{
-			Strategy:    bestStrategy,
-			Cost:        bestDelta, // Δ relative to current (negative = gain)
-			CurrentCost: 0,
-			Improving:   improving,
-		},
-		Feasible: true,
-	}
+	e := evalPool.Get().(*Evaluator)
+	r := e.SumBestResponseExhaustive(s, u, k, alpha, maxCandidates)
+	evalPool.Put(e)
+	return r
 }
 
 // SumGreedyResponse looks for an improving move among single-edge
@@ -127,57 +49,8 @@ func SumBestResponseExhaustive(s *game.State, u, k int, alpha float64, maxCandid
 // the exact responder is infeasible (the paper itself limited experiments
 // to MAXNCG for exactly this reason; see §5 and DESIGN.md §3).
 func SumGreedyResponse(s *game.State, u, k int, alpha float64) Response {
-	current := s.Strategy(u)
-	v := view.Extract(s.Graph(), u, k)
-
-	bestDelta := 0.0
-	bestStrategy := current
-	improving := false
-	try := func(candidate []int) {
-		d := SumDelta(s, u, k, alpha, candidate)
-		if d < bestDelta-epsilon {
-			bestDelta = d
-			bestStrategy = candidate
-			improving = true
-		}
-	}
-
-	inCurrent := make(map[int]bool, len(current))
-	for _, w := range current {
-		inCurrent[w] = true
-	}
-	// Additions.
-	for _, orig := range v.Orig {
-		if orig == u || inCurrent[orig] || s.Buys(orig, u) {
-			continue
-		}
-		try(append(append([]int{}, current...), orig))
-	}
-	// Removals.
-	for i := range current {
-		cand := make([]int, 0, len(current)-1)
-		cand = append(cand, current[:i]...)
-		cand = append(cand, current[i+1:]...)
-		try(cand)
-	}
-	// Swaps.
-	for i := range current {
-		base := make([]int, 0, len(current))
-		base = append(base, current[:i]...)
-		base = append(base, current[i+1:]...)
-		for _, orig := range v.Orig {
-			if orig == u || inCurrent[orig] || s.Buys(orig, u) {
-				continue
-			}
-			try(append(append([]int{}, base...), orig))
-		}
-	}
-	out := append([]int(nil), bestStrategy...)
-	sort.Ints(out)
-	return Response{
-		Strategy:    out,
-		Cost:        bestDelta,
-		CurrentCost: 0,
-		Improving:   improving,
-	}
+	e := evalPool.Get().(*Evaluator)
+	r := e.SumGreedyResponse(s, u, k, alpha)
+	evalPool.Put(e)
+	return r
 }

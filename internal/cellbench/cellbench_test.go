@@ -1,0 +1,93 @@
+// Package cellbench is the cell hot-path performance artifact: with
+// BENCH_OUT set, TestBenchCell runs the best-response and swap
+// neighborhood benchmarks programmatically and writes their ns/op and
+// allocs/op as JSON (committed as BENCH_cell.json at the repo root), so
+// the hot path's allocation trajectory is tracked — and gated — across
+// PRs alongside the scheduler artifact (BENCH_sched.json).
+package cellbench
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/bestresponse"
+	"repro/internal/game"
+	"repro/internal/gen"
+	"repro/internal/swap"
+)
+
+// cellBench is one benchmark's measurement. Allocs/op is the regression
+// gate (CI fails when it grows past the committed baseline); ns/op is
+// informational — CI machines are too noisy to gate on time.
+type cellBench struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchState mirrors the fixture of the per-package benchmarks: a random
+// tree with randomly assigned edge owners, seed 1.
+func benchState(n int) *game.State {
+	rng := rand.New(rand.NewSource(1))
+	return game.FromGraphRandomOwners(gen.RandomTree(n, rng), rng)
+}
+
+// TestBenchCell writes BENCH_cell.json when BENCH_OUT names the output
+// path; without it the test is a no-op skip so the regular suite never
+// pays for the measurement. The cases mirror the Benchmark functions in
+// internal/bestresponse and internal/swap one for one.
+func TestBenchCell(t *testing.T) {
+	out := os.Getenv("BENCH_OUT")
+	if out == "" {
+		t.Skip("set BENCH_OUT=<path> to measure and write BENCH_cell.json")
+	}
+
+	s100 := benchState(100)
+	s60 := benchState(60)
+	sumStrategy := []int{1, 2}
+	cases := []struct {
+		name string
+		fn   func(i int)
+	}{
+		{"MaxBestResponseLocal", func(i int) { bestresponse.MaxBestResponse(s100, i%100, 3, 2) }},
+		{"MaxBestResponseFullKnowledge", func(i int) { bestresponse.MaxBestResponse(s100, i%100, 1000, 2) }},
+		{"MaxGreedyResponse", func(i int) { bestresponse.MaxGreedyResponse(s100, i%100, 3, 2) }},
+		{"SumDelta", func(i int) { bestresponse.SumDelta(s100, 0, 3, 2, sumStrategy) }},
+		{"SumGreedyResponse", func(i int) { bestresponse.SumGreedyResponse(s60, i%60, 2, 2) }},
+		{"BestSwapSum", func(i int) { swap.BestSwap(s100, i%100, 3, swap.SumDist) }},
+		{"BestSwapMax", func(i int) { swap.BestSwap(s100, i%100, 3, swap.MaxEcc) }},
+	}
+
+	results := make(map[string]cellBench, len(cases))
+	for _, c := range cases {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.fn(i)
+			}
+		})
+		results[c.name] = cellBench{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		t.Logf("%s: %.0f ns/op, %d allocs/op, %d B/op",
+			c.name, results[c.name].NsPerOp, results[c.name].AllocsPerOp, results[c.name].BytesPerOp)
+	}
+
+	payload := struct {
+		Benchmarks  map[string]cellBench `json:"benchmarks"`
+		GeneratedAt string               `json:"generated_at"`
+	}{Benchmarks: results, GeneratedAt: time.Now().UTC().Format(time.RFC3339)}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -33,6 +33,30 @@ func SumResponder(maxCandidates int) Responder {
 	}
 }
 
+// NewMaxResponder returns a MaxResponder bound to its own
+// bestresponse.Evaluator, so a worker running many cells reuses one set
+// of scratch buffers instead of going through the shared pool per call.
+// Responses are identical to MaxResponder's.
+func NewMaxResponder() Responder {
+	e := bestresponse.NewEvaluator()
+	return func(s *game.State, u, k int, alpha float64) bestresponse.Response {
+		return e.MaxBestResponse(s, u, k, alpha)
+	}
+}
+
+// NewSumResponder is SumResponder bound to its own Evaluator; see
+// NewMaxResponder.
+func NewSumResponder(maxCandidates int) Responder {
+	e := bestresponse.NewEvaluator()
+	return func(s *game.State, u, k int, alpha float64) bestresponse.Response {
+		ex := e.SumBestResponseExhaustive(s, u, k, alpha, maxCandidates)
+		if ex.Feasible {
+			return ex.Response
+		}
+		return e.SumGreedyResponse(s, u, k, alpha)
+	}
+}
+
 // Status describes how a dynamics run ended.
 type Status int
 
@@ -113,6 +137,12 @@ type Config struct {
 	Alpha     float64
 	K         int
 	Responder Responder
+	// NewResponder, when set, constructs a fresh responder owning its own
+	// evaluation scratch. RunContext falls back to it when Responder is
+	// nil, and LocalExecutor calls it once per worker so a sweep's
+	// responder allocations stay O(workers) rather than O(moves). Both
+	// fields must describe the same response rule.
+	NewResponder func() Responder
 	// MaxRounds bounds the run; cycle detection starts once the round
 	// count exceeds CycleCheckAfter (the paper checks after a time
 	// threshold; we use rounds as the deterministic analogue).
@@ -123,20 +153,37 @@ type Config struct {
 	CollectPerRound bool
 }
 
-// DefaultConfig mirrors the paper's setup for the given variant.
+// DefaultConfig mirrors the paper's setup for the given variant. It sets
+// NewResponder only, leaving Responder nil: an explicit Responder always
+// wins (see ResolveResponder), so callers that assign one after
+// DefaultConfig keep their override everywhere, including in per-worker
+// executors.
 func DefaultConfig(variant game.Variant, alpha float64, k int) Config {
-	r := MaxResponder
+	nr := NewMaxResponder
 	if variant == game.Sum {
-		r = SumResponder(16)
+		nr = func() Responder { return NewSumResponder(16) }
 	}
 	return Config{
 		Variant:         variant,
 		Alpha:           alpha,
 		K:               k,
-		Responder:       r,
+		NewResponder:    nr,
 		MaxRounds:       200,
 		CycleCheckAfter: 30,
 	}
+}
+
+// ResolveResponder returns the responder a run will use: the explicit
+// Responder field when set, otherwise a fresh instance from NewResponder,
+// or nil when neither is configured.
+func (cfg Config) ResolveResponder() Responder {
+	if cfg.Responder != nil {
+		return cfg.Responder
+	}
+	if cfg.NewResponder != nil {
+		return cfg.NewResponder()
+	}
+	return nil
 }
 
 // Run executes round-robin best-response dynamics on state s (§5.1): in
@@ -154,6 +201,7 @@ func Run(s *game.State, cfg Config) Result {
 // final statistics) together with ctx.Err(); the rounds already played
 // before the cancellation point are identical to an uninterrupted run's.
 func RunContext(ctx context.Context, s *game.State, cfg Config) (Result, error) {
+	cfg.Responder = cfg.ResolveResponder()
 	if cfg.Responder == nil {
 		panic("dynamics: nil responder")
 	}
@@ -223,7 +271,7 @@ func collect(s *game.State, cfg Config, round, moves int) RoundStats {
 		st.AvgBought = float64(s.TotalBought()) / float64(n)
 		minV, maxV, sumV := n+1, 0, 0
 		for u := 0; u < n; u++ {
-			sz := view.Extract(g, u, cfg.K).Size()
+			sz := view.BallSize(g, u, cfg.K)
 			if sz < minV {
 				minV = sz
 			}
@@ -250,6 +298,10 @@ func IsLKE(s *game.State, cfg Config) bool {
 // FirstDeviator returns the lowest-id player with a strictly improving
 // response, or -1 when s is stable.
 func FirstDeviator(s *game.State, cfg Config) int {
+	cfg.Responder = cfg.ResolveResponder()
+	if cfg.Responder == nil {
+		panic("dynamics: nil responder")
+	}
 	for u := 0; u < s.N(); u++ {
 		if cfg.Responder(s, u, cfg.K, cfg.Alpha).Improving {
 			return u

@@ -81,6 +81,10 @@ func (LocalExecutor) Execute(ctx context.Context, req ExecRequest) <-chan Indexe
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One responder per worker: its evaluation scratch is reused
+			// across every cell this goroutine runs, keeping sweep
+			// allocations O(workers) instead of O(moves).
+			workerResponder := req.Base.ResolveResponder()
 			for i := range next {
 				if req.Gate != nil {
 					select {
@@ -95,6 +99,9 @@ func (LocalExecutor) Execute(ctx context.Context, req ExecRequest) <-chan Indexe
 				cfg := req.Base
 				cfg.Alpha = cell.Alpha
 				cfg.K = cell.K
+				if workerResponder != nil {
+					cfg.Responder = workerResponder
+				}
 				start := time.Now()
 				res, err := RunContext(ctx, s, cfg)
 				if req.Gate != nil {

@@ -51,6 +51,7 @@ func RunScheduled(s *game.State, cfg Config, schedule Schedule, rng *rand.Rand) 
 	if schedule == RoundRobin {
 		return Run(s, cfg)
 	}
+	cfg.Responder = cfg.ResolveResponder()
 	if cfg.Responder == nil {
 		panic("dynamics: nil responder")
 	}

@@ -28,6 +28,7 @@ func (m Move) String() string {
 // recorded, which supports replay, debugging of non-convergence, and the
 // §5.1 "total number of strategy changes" statistic at move granularity.
 func RunTraced(s *game.State, cfg Config) (Result, []Move) {
+	cfg.Responder = cfg.ResolveResponder()
 	if cfg.Responder == nil {
 		panic("dynamics: nil responder")
 	}

@@ -50,9 +50,17 @@ func (g *Graph) Distances(src int) []int {
 	return dist
 }
 
-// Dist returns the distance between u and v (Unreachable when disconnected).
+// Dist returns the distance between u and v (Unreachable when
+// disconnected). The BFS stops as soon as v is reached and runs on pooled
+// scratch buffers, so point queries allocate nothing and never pay for
+// the far side of the graph.
 func (g *Graph) Dist(u, v int) int {
-	return g.Distances(u)[v]
+	g.check(u)
+	g.check(v)
+	s := GetScratch(g.n)
+	d := g.bfsTarget(u, v, s)
+	PutScratch(s)
+	return d
 }
 
 // BFSWithin computes distances from src, exploring only vertices at distance
@@ -106,77 +114,79 @@ func (g *Graph) Ball(src, k int) []int {
 }
 
 // Eccentricity returns the eccentricity of v, or Unreachable when the graph
-// is disconnected from v's component.
+// is disconnected from v's component. Runs on pooled scratch buffers.
 func (g *Graph) Eccentricity(v int) int {
-	dist := make([]int, g.n)
-	g.BFS(v, dist, nil)
+	g.check(v)
+	s := GetScratch(g.n)
+	visited := g.bfsScratch(v, s)
 	ecc := 0
-	for _, d := range dist {
-		if d > ecc {
-			ecc = d
+	if len(visited) < g.n {
+		ecc = Unreachable
+	} else {
+		for _, u := range visited {
+			if d := int(s.dist[u]); d > ecc {
+				ecc = d
+			}
 		}
 	}
+	PutScratch(s)
 	return ecc
 }
 
 // SumDistances returns the status of v: the sum of distances from v to every
-// other vertex. If any vertex is unreachable the result is >= Unreachable.
+// other vertex. If any vertex is unreachable the result is >= Unreachable
+// (each missing vertex contributes exactly Unreachable). Runs on pooled
+// scratch buffers.
 func (g *Graph) SumDistances(v int) int {
-	dist := make([]int, g.n)
-	g.BFS(v, dist, nil)
+	g.check(v)
+	s := GetScratch(g.n)
+	visited := g.bfsScratch(v, s)
 	sum := 0
-	for _, d := range dist {
-		sum += d
+	for _, u := range visited {
+		sum += int(s.dist[u])
 	}
+	sum += (g.n - len(visited)) * Unreachable
+	PutScratch(s)
 	return sum
 }
 
 // AllEccentricities computes the eccentricity of every vertex with a
-// parallel fan-out of BFS workers. The result index is the vertex id.
+// parallel fan-out of BFS workers over one flat CSR snapshot. The result
+// index is the vertex id.
 func (g *Graph) AllEccentricities() []int {
 	ecc := make([]int, g.n)
-	parallelVertices(g.n, func(worker, v int, dist []int, queue []int32) {
-		g.BFS(v, dist, queue)
-		e := 0
-		for _, d := range dist {
-			if d > e {
-				e = d
-			}
-		}
-		ecc[v] = e
+	c := g.CSR()
+	parallelVertices(g.n, func(v int, s *Scratch) {
+		ecc[v] = c.Eccentricity(v, s)
 	})
 	return ecc
 }
 
 // AllSumDistances computes the status (sum of distances) of every vertex in
-// parallel. The result index is the vertex id.
+// parallel over one flat CSR snapshot. The result index is the vertex id.
 func (g *Graph) AllSumDistances() []int {
 	sums := make([]int, g.n)
-	parallelVertices(g.n, func(worker, v int, dist []int, queue []int32) {
-		g.BFS(v, dist, queue)
-		s := 0
-		for _, d := range dist {
-			s += d
-		}
-		sums[v] = s
+	c := g.CSR()
+	parallelVertices(g.n, func(v int, s *Scratch) {
+		sums[v] = c.SumDistances(v, s)
 	})
 	return sums
 }
 
-// parallelVertices runs fn(worker, v, dist, queue) for every vertex v using
-// a fixed pool of GOMAXPROCS workers, each owning reusable BFS buffers.
-// Writes by different vertices must target disjoint memory.
-func parallelVertices(n int, fn func(worker, v int, dist []int, queue []int32)) {
+// parallelVertices runs fn(v, scratch) for every vertex v using a fixed
+// pool of GOMAXPROCS workers, each owning one reusable Scratch. Writes by
+// different vertices must target disjoint memory.
+func parallelVertices(n int, fn func(v int, s *Scratch)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		dist := make([]int, n)
-		queue := make([]int32, n)
+		s := GetScratch(n)
 		for v := 0; v < n; v++ {
-			fn(0, v, dist, queue)
+			fn(v, s)
 		}
+		PutScratch(s)
 		return
 	}
 	var wg sync.WaitGroup
@@ -184,14 +194,14 @@ func parallelVertices(n int, fn func(worker, v int, dist []int, queue []int32)) 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			dist := make([]int, n)
-			queue := make([]int32, n)
+			s := GetScratch(n)
 			// Strided assignment keeps the schedule deterministic and
 			// avoids a shared work channel for this embarrassingly
 			// parallel loop.
 			for v := w; v < n; v += workers {
-				fn(w, v, dist, queue)
+				fn(v, s)
 			}
+			PutScratch(s)
 		}(w)
 	}
 	wg.Wait()

@@ -8,6 +8,16 @@
 // representation favors cheap edge insertion/removal on small-degree
 // vertices over asymptotic cleverness. All query methods are read-only and
 // safe for concurrent use as long as no writer is active.
+//
+// Two companion types serve the hot paths. CSR is an immutable flat
+// snapshot (packed int32 offset/target arrays, adjacency order preserved)
+// for traversal-heavy read workloads: build it once, then fan BFS out
+// across workers. Scratch is the reusable buffer set those kernels run on
+// — an epoch-stamped visited array plus int32 distance/queue buffers — so
+// a traversal neither allocates nor pays an O(n) clear. The one-shot
+// conveniences (Dist, Eccentricity, SumDistances, ...) borrow a Scratch
+// from an internal pool, making them allocation-free after warm-up while
+// keeping their original signatures and results.
 package graph
 
 import (
@@ -155,22 +165,21 @@ func (g *Graph) Clone() *Graph {
 // Edge is an undirected edge with U < V.
 type Edge struct{ U, V int }
 
-// Edges returns all edges with U < V, sorted lexicographically.
+// Edges returns all edges with U < V, sorted lexicographically. The outer
+// loop already emits edges grouped by ascending U, so only each vertex's
+// span needs sorting (by V) — not the whole slice.
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, 0, g.m)
 	for u := 0; u < g.n; u++ {
+		start := len(out)
 		for _, w := range g.adj[u] {
 			if int(w) > u {
 				out = append(out, Edge{u, int(w)})
 			}
 		}
+		span := out[start:]
+		sort.Slice(span, func(i, j int) bool { return span[i].V < span[j].V })
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
-		}
-		return out[i].V < out[j].V
-	})
 	return out
 }
 

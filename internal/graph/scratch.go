@@ -1,0 +1,165 @@
+package graph
+
+import "sync"
+
+// Scratch holds the reusable buffers of a BFS: an epoch-stamped visited
+// array (so a fresh traversal never pays an O(n) clear), int32 distances,
+// and the queue. A Scratch is not safe for concurrent use; give each
+// worker its own, or borrow one from the package pool with GetScratch.
+//
+// Distances are only meaningful for vertices visited by the most recent
+// traversal; Dist converts unvisited vertices to Unreachable, matching
+// the full-slice BFS convention.
+type Scratch struct {
+	epoch uint32
+	seen  []uint32
+	dist  []int32
+	queue []int32
+}
+
+// NewScratch returns a Scratch sized for graphs of up to n vertices. It
+// grows on demand, so n is a hint, not a cap.
+func NewScratch(n int) *Scratch {
+	s := &Scratch{}
+	s.grow(n)
+	return s
+}
+
+// grow ensures capacity for n vertices. New seen entries start at zero,
+// which is below any live epoch.
+func (s *Scratch) grow(n int) {
+	if n <= len(s.seen) {
+		return
+	}
+	s.seen = append(make([]uint32, 0, n), s.seen...)[:n]
+	s.dist = make([]int32, n)
+	s.queue = make([]int32, n)
+}
+
+// begin starts a fresh traversal over n vertices: everything unvisited,
+// nothing enqueued. Epoch wraparound (once per 2^32 traversals) forces a
+// one-time clear so stale stamps can never alias a live epoch.
+func (s *Scratch) begin(n int) {
+	s.grow(n)
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.seen {
+			s.seen[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+// visit stamps v with distance d and returns true when v was unvisited.
+func (s *Scratch) visit(v int32, d int32) bool {
+	if s.seen[v] == s.epoch {
+		return false
+	}
+	s.seen[v] = s.epoch
+	s.dist[v] = d
+	return true
+}
+
+// Dist returns the distance recorded for v by the most recent traversal,
+// or Unreachable when v was not visited.
+func (s *Scratch) Dist(v int) int {
+	if s.seen[v] != s.epoch {
+		return Unreachable
+	}
+	return int(s.dist[v])
+}
+
+// scratchPool recycles Scratches for the package-level conveniences
+// (Graph.Dist, Eccentricity, ...) so one-shot queries stay allocation-free
+// after warm-up.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch borrows a Scratch sized for n vertices from the shared pool.
+// Return it with PutScratch when done.
+func GetScratch(n int) *Scratch {
+	s := scratchPool.Get().(*Scratch)
+	s.grow(n)
+	return s
+}
+
+// PutScratch returns a Scratch to the shared pool.
+func PutScratch(s *Scratch) { scratchPool.Put(s) }
+
+// bfsScratch runs a full BFS from src over the adjacency lists, returning
+// the visited vertices in BFS order (a prefix of the scratch queue, valid
+// until the next traversal).
+func (g *Graph) bfsScratch(src int, s *Scratch) []int32 {
+	s.begin(g.n)
+	s.visit(int32(src), 0)
+	s.queue[0] = int32(src)
+	head, tail := 0, 1
+	for head < tail {
+		u := s.queue[head]
+		head++
+		du := s.dist[u]
+		for _, w := range g.adj[u] {
+			if s.visit(w, du+1) {
+				s.queue[tail] = w
+				tail++
+			}
+		}
+	}
+	return s.queue[:tail]
+}
+
+// bfsTarget runs a BFS from src that stops as soon as target is reached,
+// returning the distance (Unreachable when disconnected).
+func (g *Graph) bfsTarget(src, target int, s *Scratch) int {
+	if src == target {
+		return 0
+	}
+	s.begin(g.n)
+	s.visit(int32(src), 0)
+	s.queue[0] = int32(src)
+	head, tail := 0, 1
+	for head < tail {
+		u := s.queue[head]
+		head++
+		du := s.dist[u]
+		for _, w := range g.adj[u] {
+			if s.visit(w, du+1) {
+				if int(w) == target {
+					return int(du + 1)
+				}
+				s.queue[tail] = w
+				tail++
+			}
+		}
+	}
+	return Unreachable
+}
+
+// BFSWithinScratch is BFSWithin on reusable scratch buffers: it explores
+// only vertices at distance at most k from src and returns them in BFS
+// order (aliasing the scratch queue, valid until the next traversal).
+// Distances are readable through s.Dist.
+func (g *Graph) BFSWithinScratch(src, k int, s *Scratch) []int32 {
+	g.check(src)
+	if k < 0 {
+		panic("graph: negative radius")
+	}
+	s.begin(g.n)
+	s.visit(int32(src), 0)
+	s.queue[0] = int32(src)
+	head, tail := 0, 1
+	for head < tail {
+		u := s.queue[head]
+		head++
+		du := s.dist[u]
+		if int(du) == k {
+			continue
+		}
+		for _, w := range g.adj[u] {
+			if s.visit(w, du+1) {
+				s.queue[tail] = w
+				tail++
+			}
+		}
+	}
+	return s.queue[:tail]
+}

@@ -105,14 +105,39 @@ func MinDominatingExtra(g *graph.Graph, forced []int) []int {
 // cheaper than my incumbent?" (the best-response loop) use the cap to
 // skip proving optimality of solutions they would discard anyway.
 func MinDominatingExtraAtMost(g *graph.Graph, forced []int, limit int) ([]int, bool) {
-	n := g.N()
+	if g.N() == 0 {
+		return nil, limit > 0
+	}
+	if limit <= 0 {
+		return nil, false
+	}
+	return minDominatingExtraAtMost(g.N(), closedNeighborhoods(g), forced, limit)
+}
+
+// MinDominatingExtraAtMostBitsets is MinDominatingExtraAtMost for callers
+// that already hold the closed neighborhoods of the (implicit) graph as
+// bitsets: nbs[v] must contain bit v plus every vertex v dominates, packed
+// in (n+63)/64 uint64 words. The best-response hot path builds these
+// directly from an all-pairs distance table — one slab per power instead
+// of materializing power graphs. The slices are read, never written, and
+// the search is the same branch-and-bound as the graph entry point, so
+// identical neighborhoods yield identical solutions.
+func MinDominatingExtraAtMostBitsets(n int, nbs [][]uint64, forced []int, limit int) ([]int, bool) {
 	if n == 0 {
 		return nil, limit > 0
 	}
 	if limit <= 0 {
 		return nil, false
 	}
-	nbs := closedNeighborhoods(g)
+	bs := make([]bitset, n)
+	for i := range bs {
+		bs[i] = bitset(nbs[i])
+	}
+	return minDominatingExtraAtMost(n, bs, forced, limit)
+}
+
+// minDominatingExtraAtMost is the shared core; n > 0 and limit > 0.
+func minDominatingExtraAtMost(n int, nbs []bitset, forced []int, limit int) ([]int, bool) {
 	full := newBitset(n)
 	for v := 0; v < n; v++ {
 		full.set(v)

@@ -44,3 +44,45 @@ func UnmarshalTrajectory(line []byte) (TrajectoryRecord, error) {
 	}
 	return tr, nil
 }
+
+// leaseRecordJSON is the wire form of one cell on a peer-lease stream when
+// the spec collects trajectories: the canonical CellResult line — exactly
+// the bytes the leader will checkpoint — plus the per-round stats the
+// checkpoint codec intentionally drops. Plain leases stream bare CellResult
+// lines; this envelope exists so trajectory sweeps can shard without
+// per_round ever entering checkpoint bytes.
+type leaseRecordJSON struct {
+	Result   json.RawMessage       `json:"result"`
+	PerRound []dynamics.RoundStats `json:"per_round,omitempty"`
+}
+
+// MarshalLeaseRecord wraps a canonical CellResult line (as produced by
+// MarshalCellResult) together with its per-round trajectory into one lease
+// stream record (without a trailing newline). Encoding is deterministic,
+// same contract as MarshalCellResult.
+func MarshalLeaseRecord(resultLine []byte, perRound []dynamics.RoundStats) ([]byte, error) {
+	line, err := json.Marshal(leaseRecordJSON{Result: json.RawMessage(resultLine), PerRound: perRound})
+	if err != nil {
+		return nil, fmt.Errorf("ncgio: %w", err)
+	}
+	return line, nil
+}
+
+// UnmarshalLeaseRecord inverts MarshalLeaseRecord: the embedded result is
+// fully decoded and the trajectory is reattached to Result.PerRound, so
+// the leader sees exactly what an in-process worker would have delivered.
+func UnmarshalLeaseRecord(line []byte) (dynamics.CellResult, error) {
+	var lr leaseRecordJSON
+	if err := json.Unmarshal(line, &lr); err != nil {
+		return dynamics.CellResult{}, fmt.Errorf("ncgio: %w", err)
+	}
+	if len(lr.Result) == 0 {
+		return dynamics.CellResult{}, fmt.Errorf("ncgio: lease record has no result")
+	}
+	r, err := UnmarshalCellResult(lr.Result)
+	if err != nil {
+		return dynamics.CellResult{}, err
+	}
+	r.Result.PerRound = lr.PerRound
+	return r, nil
+}

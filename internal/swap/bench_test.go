@@ -1,0 +1,33 @@
+package swap
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/game"
+	"repro/internal/gen"
+)
+
+func benchStateSwap(n int) *game.State {
+	rng := rand.New(rand.NewSource(1))
+	g := gen.RandomTree(n, rng)
+	return game.FromGraphRandomOwners(g, rng)
+}
+
+func BenchmarkBestSwapSum(b *testing.B) {
+	s := benchStateSwap(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BestSwap(s, i%s.N(), 3, SumDist)
+	}
+}
+
+func BenchmarkBestSwapMax(b *testing.B) {
+	s := benchStateSwap(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BestSwap(s, i%s.N(), 3, MaxEcc)
+	}
+}

@@ -16,7 +16,6 @@ package swap
 
 import (
 	"repro/internal/game"
-	"repro/internal/graph"
 	"repro/internal/view"
 )
 
@@ -38,60 +37,72 @@ const (
 	SumDist
 )
 
-// usage evaluates the objective for the center of a modified view graph.
-func usage(h *graph.Graph, center int, obj Objective) int {
-	dist := make([]int, h.N())
-	h.BFS(center, dist, nil)
-	switch obj {
-	case MaxEcc:
-		ecc := 0
-		for _, d := range dist {
-			if d > ecc {
-				ecc = d
-			}
-		}
-		return ecc
-	case SumDist:
-		sum := 0
-		for _, d := range dist {
-			sum += d
-		}
-		return sum
-	default:
-		panic("swap: unknown objective")
-	}
-}
-
 // BestSwap returns the best improving swap for player u on her radius-k
 // view, or ok=false when no swap strictly reduces the objective. Swaps
 // that disconnect the view (pushing some visible vertex to infinity) are
 // never improving and are skipped implicitly by the usage comparison.
+//
+// The scan runs on a pooled view.Workspace: the view is extracted once,
+// each removal is an O(ball) distance recompute, and each candidate
+// re-attachment is an incremental relax/undo. Results are identical to
+// the retained reference implementation (refBestSwap): same move, same
+// strict-integer tie-breaks.
 func BestSwap(s *game.State, u, k int, obj Objective) (SwapMove, bool) {
-	v := view.Extract(s.Graph(), u, k)
-	base := usage(v.H, v.Center, obj)
+	ws := view.GetWorkspace()
+	m, ok := bestSwap(ws, s, u, k, obj)
+	view.PutWorkspace(ws)
+	return m, ok
+}
+
+func bestSwap(ws *view.Workspace, s *game.State, u, k int, obj Objective) (SwapMove, bool) {
+	cost := func() int {
+		switch obj {
+		case MaxEcc:
+			return ws.EccAll()
+		case SumDist:
+			return ws.SumAll()
+		default:
+			panic("swap: unknown objective")
+		}
+	}
+	ws.Extract(s.Graph(), u, k)
+	ws.ResetBase(ws.CenterAdj)
+	bestUsage := cost()
 	best := SwapMove{}
-	bestUsage := base
 	found := false
+	b := ws.Size()
+	edges := make([]int32, 0, len(ws.CenterAdj))
 	for _, old := range s.Strategy(u) {
-		lOld, okOld := v.Local[old]
-		if !okOld {
+		lOld := ws.LocalOf(old)
+		if lOld < 0 {
 			continue // bought edge whose endpoint left the view: untouchable
 		}
 		doubleOwned := s.Buys(old, u)
-		for _, cand := range v.Orig {
-			if cand == u || cand == old {
+		edges = edges[:0]
+		for _, l := range ws.CenterAdj {
+			if int(l) == lOld && !doubleOwned {
 				continue
 			}
-			lCand := v.Local[cand]
-			h := v.H.Clone()
-			if !doubleOwned {
-				h.RemoveEdge(v.Center, lOld)
+			edges = append(edges, l)
+		}
+		ws.ResetBase(edges)
+		for l := 1; l < b; l++ {
+			if l == lOld {
+				continue
 			}
-			added := h.AddEdge(v.Center, lCand)
-			cost := usage(h, v.Center, obj)
-			if cost < bestUsage && added {
-				bestUsage = cost
-				best = SwapMove{Player: u, Old: old, New: cand}
+			// Distance 1 from the center means the edge already exists in
+			// the swapped graph (only center edges reach distance 1), so
+			// adding it would be a no-op — the reference's !added case.
+			if ws.CurDist(l) == 1 {
+				continue
+			}
+			mark := ws.Mark()
+			ws.AddEdgeRelax(int32(l))
+			c := cost()
+			ws.Undo(mark)
+			if c < bestUsage {
+				bestUsage = c
+				best = SwapMove{Player: u, Old: old, New: int(ws.Orig[l])}
 				found = true
 			}
 		}

@@ -686,6 +686,15 @@ func (m *Manager) runJob(ctx context.Context, js *jobState) {
 // computed cells warm the cache (and coalesce with any local job
 // computing the same kernel). The spec must be normalized and validated
 // by the caller.
+//
+// Trajectory specs change the framing, not the protocol: each cell is
+// emitted as one ncgio lease record wrapping the canonical result line
+// with its per-round stats (the checkpoint codec drops them, so bare
+// lines could not carry the very data the spec asked for). Such leases
+// bypass the result cache in both directions — its codec would strip
+// PerRound and hand a later lease a record with a silent hole — but
+// in-flight dedup still applies (flights carry the full in-memory
+// Result).
 func (m *Manager) ServeLease(ctx context.Context, sp Spec, start, end int, emit func(line []byte) error) error {
 	if n := sp.NumCells(); start < 0 || end > n || start >= end {
 		return fmt.Errorf("sweepd: lease range [%d, %d) outside grid of %d cells", start, end, n)
@@ -694,10 +703,13 @@ func (m *Manager) ServeLease(ctx context.Context, sp Spec, start, end int, emit 
 	// leases against a six-figure grid must not pay O(grid) per lease.
 	sub := sp.CellsRange(start, end)
 	kernel := sp.KernelHash()
+	useCache := !sp.Trajectories
 	have := func(c dynamics.Cell) (dynamics.Result, bool) {
-		if line, ok := m.cache.Get(kernel, c); ok {
-			if r, err := ncgio.UnmarshalCellResult(line); err == nil {
-				return r.Result, true
+		if useCache {
+			if line, ok := m.cache.Get(kernel, c); ok {
+				if r, err := ncgio.UnmarshalCellResult(line); err == nil {
+					return r.Result, true
+				}
 			}
 		}
 		return dynamics.Result{}, false
@@ -706,6 +718,13 @@ func (m *Manager) ServeLease(ctx context.Context, sp Spec, start, end int, emit 
 		line, err := ncgio.MarshalCellResult(r)
 		if err != nil {
 			return err
+		}
+		if sp.Trajectories {
+			rec, err := ncgio.MarshalLeaseRecord(line, r.Result.PerRound)
+			if err != nil {
+				return err
+			}
+			return emit(rec)
 		}
 		if !reused {
 			// Memory tier only: this kernel may belong to no local job,

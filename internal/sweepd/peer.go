@@ -20,7 +20,10 @@ import (
 // ncgio CellResult line per cell, in canonical order, with blank
 // heartbeat lines interleaved while long cells compute; the leader
 // counts lines, so a stream that ends short of End-Start records is a
-// failed lease and the remainder is reclaimed.
+// failed lease and the remainder is reclaimed. When the spec collects
+// trajectories, each line is instead an ncgio lease record wrapping the
+// canonical result line together with the cell's per-round stats (the
+// bare codec intentionally drops them).
 type LeaseRequest struct {
 	Spec  Spec `json:"spec"`
 	Start int  `json:"start"`
@@ -310,8 +313,7 @@ type Membership interface {
 // ExecutorProvider supplies the compute backend for each job, letting the
 // peer-sharding layer (internal/sweepd/shard) plug in without sweepd
 // importing it. ExecutorFor may return nil to mean "run locally" (e.g. no
-// live peers, or a trajectory job whose wire codec cannot carry
-// PerRound). onRemote, when invoked by the returned executor, reports
+// live peers). onRemote, when invoked by the returned executor, reports
 // cells whose results arrived from peers — the manager feeds it into the
 // job snapshot (Job.RemoteCells) and daemon metrics.
 type ExecutorProvider interface {

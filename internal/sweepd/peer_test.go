@@ -144,8 +144,8 @@ func TestCellsRangeMatchesCells(t *testing.T) {
 	}
 }
 
-// TestPeerLeaseRejections: malformed bodies, invalid specs, bad ranges,
-// and trajectory specs are all 400s — never a stream.
+// TestPeerLeaseRejections: malformed bodies, invalid specs, and bad
+// ranges are all 400s — never a stream.
 func TestPeerLeaseRejections(t *testing.T) {
 	store, err := OpenStore(t.TempDir())
 	if err != nil {
@@ -158,8 +158,6 @@ func TestPeerLeaseRejections(t *testing.T) {
 
 	valid := Spec{N: 10, Alphas: []float64{1}, Ks: []int{2}, Seeds: 2}
 	valid.Normalize()
-	traj := valid
-	traj.Trajectories = true
 
 	cases := []struct {
 		name string
@@ -169,7 +167,6 @@ func TestPeerLeaseRejections(t *testing.T) {
 		{"negative start", LeaseRequest{Spec: valid, Start: -1, End: 1}},
 		{"end past grid", LeaseRequest{Spec: valid, Start: 0, End: 3}},
 		{"empty range", LeaseRequest{Spec: valid, Start: 1, End: 1}},
-		{"trajectory spec", LeaseRequest{Spec: traj, Start: 0, End: 1}},
 	}
 	for _, tc := range cases {
 		resp := postLease(t, srv.URL, tc.req)

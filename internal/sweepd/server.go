@@ -183,7 +183,9 @@ func (h *handler) rateLimit(next http.Handler) http.Handler {
 //	                            dir, spill files, summary state)
 //	POST   /peer/leases         compute a contiguous cell range for a peer
 //	                            daemon, streaming canonical result lines back
-//	                            (the follower half of the sharding protocol)
+//	                            (lease records carrying per-round stats for
+//	                            trajectory specs — the follower half of the
+//	                            sharding protocol)
 //	POST   /peer/hello          a booting daemon announces its advertise URL
 //	                            and is registered as an alive member
 //	GET    /peer/members        this daemon's member table (self first), the
@@ -636,9 +638,11 @@ func (h *handler) trajectories(w http.ResponseWriter, r *http.Request) {
 // protocol: validate the leader's spec and range, then stream each cell's
 // canonical result line as the local pool produces it (in canonical
 // order), with blank heartbeat lines while long cells compute so the
-// leader's lease watchdog can tell "slow" from "dead". A failure after
-// streaming began simply ends the stream short — the leader counts lines
-// and reclaims the remainder.
+// leader's lease watchdog can tell "slow" from "dead". Trajectory specs
+// stream ncgio lease records instead of bare result lines, carrying each
+// cell's per-round stats alongside its canonical checkpoint bytes. A
+// failure after streaming began simply ends the stream short — the leader
+// counts lines and reclaims the remainder.
 func (h *handler) peerLease(w http.ResponseWriter, r *http.Request) {
 	var req LeaseRequest
 	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
@@ -651,12 +655,6 @@ func (h *handler) peerLease(w http.ResponseWriter, r *http.Request) {
 	sp.Normalize()
 	if err := sp.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	if sp.Trajectories {
-		// The wire codec drops PerRound; serving such a lease would
-		// silently lose the very data the spec asked for.
-		writeError(w, http.StatusBadRequest, "trajectory sweeps are not shardable")
 		return
 	}
 	if n := sp.NumCells(); req.Start < 0 || req.End > n || req.Start >= req.End {

@@ -124,12 +124,10 @@ func (p *Pool) Stats() sweepd.PeerStats {
 
 // ExecutorFor implements sweepd.ExecutorProvider. It snapshots the
 // source's alive peers for this job and returns nil (run locally) when
-// none are alive or the spec opted into trajectories, whose per-round
-// data the lease wire codec cannot carry.
+// none are alive. Trajectory specs shard like any other: their leases
+// stream ncgio lease records carrying each cell's per-round stats next
+// to its canonical result line.
 func (p *Pool) ExecutorFor(sp sweepd.Spec, onRemote func(cells int)) dynamics.Executor {
-	if sp.Trajectories {
-		return nil
-	}
 	peers := p.source.AlivePeers()
 	if len(peers) == 0 {
 		return nil
@@ -335,7 +333,16 @@ func (e *executor) lease(ctx context.Context, peer string, cr cellRange, cells [
 		if len(line) == 0 {
 			continue // heartbeat
 		}
-		rec, uerr := ncgio.UnmarshalCellResult(line)
+		var rec dynamics.CellResult
+		var uerr error
+		if e.spec.Trajectories {
+			// Trajectory leases wrap each result line with its per-round
+			// stats; unwrapping reattaches them, so the sidecar the leader
+			// writes is identical to a locally computed cell's.
+			rec, uerr = ncgio.UnmarshalLeaseRecord(line)
+		} else {
+			rec, uerr = ncgio.UnmarshalCellResult(line)
+		}
 		if uerr != nil {
 			return got, fmt.Errorf("shard: peer %s: %w", peer, uerr)
 		}

@@ -188,6 +188,69 @@ func TestShardedSweepByteIdentical(t *testing.T) {
 	}
 }
 
+// TestShardedTrajectorySweep: a trajectory spec shards like any other —
+// its leases stream lease records carrying per-round stats — and both the
+// checkpoint and the trajectory sidecar finish byte-identical to a
+// lone-daemon run's.
+func TestShardedTrajectorySweep(t *testing.T) {
+	sp := sweepd.Spec{
+		N:            14,
+		Alphas:       []float64{0.5, 2},
+		Ks:           []int{2, 1000},
+		Seeds:        3, // 12 cells
+		Trajectories: true,
+	}
+	sp.Normalize()
+	opts := shard.Options{LeaseCells: 2, LeaseTTL: 30 * time.Second}
+
+	run := func(peers ...*daemon) ([]byte, []byte, sweepd.Job) {
+		t.Helper()
+		leader := newDaemon(t, 4)
+		urls := make([]string, 0, len(peers))
+		for _, p := range peers {
+			urls = append(urls, p.srv.URL)
+		}
+		leader.mgr.SetExecutorProvider(shard.New(urls, opts))
+		job, _, err := leader.mgr.Submit(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := waitDone(t, leader.mgr, job.ID)
+		ckpt, err := os.ReadFile(leader.store.ResultsPath(job.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		traj, err := os.ReadFile(leader.store.TrajectoryPath(job.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ckpt, traj, done
+	}
+
+	refCkpt, refTraj, refJob := run() // zero peers
+	if len(refCkpt) == 0 || len(refTraj) == 0 {
+		t.Fatal("reference run left an empty checkpoint or sidecar")
+	}
+	if refJob.RemoteCells != 0 {
+		t.Fatalf("peerless run reports %d remote cells", refJob.RemoteCells)
+	}
+
+	peer := newDaemon(t, 2)
+	ckpt, traj, job := run(peer)
+	if !bytes.Equal(ckpt, refCkpt) {
+		t.Fatalf("sharded trajectory checkpoint differs (%d vs %d bytes)", len(ckpt), len(refCkpt))
+	}
+	if !bytes.Equal(traj, refTraj) {
+		t.Fatalf("sharded trajectory sidecar differs (%d vs %d bytes)", len(traj), len(refTraj))
+	}
+	if peer.leases.Load() == 0 {
+		t.Fatal("peer served no leases; the sharded trajectory path was not exercised")
+	}
+	if job.RemoteCells == 0 {
+		t.Fatal("job snapshot counted no remote cells")
+	}
+}
+
 // TestPeerKilledMidSweepReclaims kills the peer's HTTP server while the
 // leader's sweep is in flight: the leader must reclaim any broken lease,
 // finish the job locally, and still produce byte-identical results.

@@ -49,11 +49,13 @@ type Spec struct {
 	// RoundStats sequence is appended to a trajectory.jsonl sidecar next
 	// to the checkpoint (served at GET /sweeps/{id}/trajectories). The
 	// main CellResult codec stays small either way. Collection costs an
-	// all-pairs BFS per round, and because the cache and peer-lease wire
-	// codecs both drop PerRound, trajectory jobs bypass the result cache
-	// and never shard to peers — every cell computes in-process (or
-	// resumes from this job's own checkpoint, whose sidecar record was
-	// already written), so the sidecar is always the complete grid.
+	// all-pairs BFS per round. Because the cache codec drops PerRound,
+	// trajectory jobs bypass the result cache — every cell is computed
+	// (locally or on a peer: leases for trajectory specs stream ncgio
+	// lease records that carry per-round stats next to each canonical
+	// result line) or resumed from this job's own checkpoint, whose
+	// sidecar record was already written, so the sidecar is always the
+	// complete grid.
 	Trajectories bool `json:"trajectories,omitempty"`
 }
 

@@ -363,6 +363,60 @@ func TestTrajectoryReconcileLostSidecarTail(t *testing.T) {
 	}
 }
 
+// TestTrajectoryLeaseStreamsRecords: POST /peer/leases for a trajectory
+// spec streams one lease record per cell — the canonical result line
+// wrapped with its per-round stats — in canonical order, so trajectory
+// sweeps can shard without the sidecar losing data.
+func TestTrajectoryLeaseStreamsRecords(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(store, NewCache(1024), 2)
+	defer mgr.Close()
+	srv := httptest.NewServer(NewHandler(mgr))
+	defer srv.Close()
+
+	sp := trajSpec()
+	start, end := 1, 5
+	resp := postLease(t, srv.URL, LeaseRequest{Spec: sp, Start: start, End: end})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+
+	cells := sp.Cells()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	i := start
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue // heartbeat
+		}
+		rec, err := ncgio.UnmarshalLeaseRecord(line)
+		if err != nil {
+			t.Fatalf("bad lease record %q: %v", line, err)
+		}
+		if rec.Cell != cells[i] {
+			t.Fatalf("record %d is cell %+v, want %+v", i-start, rec.Cell, cells[i])
+		}
+		if len(rec.Result.PerRound) == 0 {
+			t.Fatalf("cell %+v arrived without per-round stats", rec.Cell)
+		}
+		if n := len(rec.Result.PerRound); n != rec.Result.Rounds {
+			t.Fatalf("cell %+v has %d per-round entries, summary says %d rounds", rec.Cell, n, rec.Result.Rounds)
+		}
+		i++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != end {
+		t.Fatalf("stream delivered %d records, want %d", i-start, end-start)
+	}
+}
+
 // TestTrajectoryKernelSeparation: the trajectories flag is part of the
 // cache kernel, so a trajectory job never reuses a plain job's cached
 // (trajectory-less) cells.

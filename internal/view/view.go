@@ -65,6 +65,16 @@ func Extract(g *graph.Graph, u, k int) *View {
 // "view size"), including herself.
 func (v *View) Size() int { return v.H.N() }
 
+// BallSize returns |β(u,k)| — what Extract(g,u,k).Size() would report —
+// with one pooled bounded BFS and no view materialization. Per-round
+// statistics collection calls this once per player per round.
+func BallSize(g *graph.Graph, u, k int) int {
+	s := graph.GetScratch(g.N())
+	n := len(g.BFSWithinScratch(u, k, s))
+	graph.PutScratch(s)
+	return n
+}
+
 // Frontier returns the local ids of the vertices at distance exactly K
 // from the center — the set F of Prop. 2.2.
 func (v *View) Frontier() []int {

@@ -1,0 +1,429 @@
+package view
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// unreach32 is the in-workspace sentinel for "not reached"; it is
+// converted to graph.Unreachable at the accessor boundary so callers see
+// the same arithmetic as the full-slice BFS kernels.
+const unreach32 = int32(1) << 30
+
+// Workspace is the mutable, reusable form of a player's view, built for
+// evaluating many candidate deviations of one player against one
+// extraction. Extract fills it with the radius-K ball around the center
+// (local ids in BFS order — identical to View's) plus a flat local CSR of
+// the ball with every center-incident arc removed; the center's edge set
+// is then toggled apply/undo-style:
+//
+//	ws.ResetBase(edges)   // full O(ball) recompute: center adjacent to edges
+//	mark := ws.Mark()
+//	ws.AddEdgeRelax(w)    // decrease-only re-relax from the new endpoint
+//	... read SumAll/EccAll/InnerSum ...
+//	ws.Undo(mark)         // O(touched) rollback
+//
+// Because every candidate edge is incident to the center, a deviation can
+// only shorten distances through its own first hop; AddEdgeRelax re-relaxes
+// exactly the improved region and journals every change, so evaluating a
+// candidate costs O(vertices whose distance actually changed) instead of a
+// fresh BFS plus clone of the whole view.
+//
+// Alongside the distances the workspace maintains, incrementally and
+// undoably, the aggregate statistics every responder needs: the sum of
+// distances and unreached count over the whole ball (swap objectives), the
+// sum over the strict interior (SUMNCG's Δ), and the count of frontier or
+// interior vertices pushed beyond the radius (SUMNCG's guard).
+//
+// A Workspace is not safe for concurrent use. Get one from the pool with
+// GetWorkspace and return it with PutWorkspace.
+type Workspace struct {
+	// K is the view radius of the last Extract.
+	K int
+	// Orig maps local ids (ball BFS order, center first) to global ids.
+	Orig []int32
+	// Dist holds the view distance from the center to each local vertex
+	// (the distance in the induced ball, which equals the distance in G).
+	Dist []int32
+	// CenterAdj lists the locals adjacent to the center in the view, in
+	// the center's global adjacency order.
+	CenterAdj []int32
+
+	// Ball CSR with every center-incident arc removed: the targets of
+	// local v (v != 0) are tgt[off[v]:off[v+1]]. Removing the center is
+	// sound for every distance-from-center query — a shortest path from
+	// the center never revisits it — and doubles as the "view minus
+	// center" graph MAXNCG's dominating-set reduction needs.
+	off []int32
+	tgt []int32
+
+	// lid maps global ids to local+1 (0 = outside the ball). Cleared by
+	// walking the previous Orig, so reuse costs O(previous ball), not O(n).
+	lid []int32
+
+	// innerBase is Σ Dist over the strict interior (Dist < K): the
+	// baseline SUMNCG's Δ subtracts.
+	innerBase int64
+	// viewEcc is the eccentricity of the center within the view.
+	viewEcc int32
+
+	// cur is the maintained distance-from-center under the active center
+	// edge set, plus the derived aggregates.
+	cur          []int32
+	histo        []int32
+	histoHi      int32
+	sumReach     int64
+	unreach      int32
+	innerSum     int64
+	innerUnreach int32
+	frontBad     int32
+
+	// journal of (local, previous distance) pairs for Undo.
+	jv []int32
+	jd []int32
+
+	queue []int32
+}
+
+var workspacePool = sync.Pool{New: func() any { return new(Workspace) }}
+
+// GetWorkspace borrows a Workspace from the shared pool.
+func GetWorkspace() *Workspace { return workspacePool.Get().(*Workspace) }
+
+// PutWorkspace returns a Workspace to the shared pool.
+func PutWorkspace(ws *Workspace) { workspacePool.Put(ws) }
+
+// Size returns the number of vertices in the ball, including the center.
+func (ws *Workspace) Size() int { return len(ws.Orig) }
+
+// LocalOf returns the local id of global vertex g, or -1 when g is
+// outside the ball.
+func (ws *Workspace) LocalOf(g int) int {
+	if g < 0 || g >= len(ws.lid) {
+		return -1
+	}
+	return int(ws.lid[g]) - 1
+}
+
+// ViewEcc returns the eccentricity of the center within the view.
+func (ws *Workspace) ViewEcc() int { return int(ws.viewEcc) }
+
+// InnerBase returns Σ Dist over the strict interior (Dist < K).
+func (ws *Workspace) InnerBase() int64 { return ws.innerBase }
+
+// Extract fills the workspace with the radius-k ball of u in g, replacing
+// any previous contents. Local ids are assigned in ball BFS order — the
+// same order view.Extract produces — so every downstream tie-break is
+// preserved. The incremental state is left unset; call ResetBase before
+// reading any aggregate.
+func (ws *Workspace) Extract(g *graph.Graph, u, k int) {
+	if k < 0 {
+		panic("view: negative radius")
+	}
+	// Clear the previous extraction's global->local entries.
+	for _, gv := range ws.Orig {
+		ws.lid[gv] = 0
+	}
+	if g.N() > len(ws.lid) {
+		ws.lid = make([]int32, g.N())
+	}
+	ws.K = k
+	ws.Orig = ws.Orig[:0]
+	ws.Dist = ws.Dist[:0]
+
+	// Ball BFS over the global graph; lid doubles as the visited mark.
+	ws.lid[u] = 1
+	ws.Orig = append(ws.Orig, int32(u))
+	ws.Dist = append(ws.Dist, 0)
+	for head := 0; head < len(ws.Orig); head++ {
+		d := ws.Dist[head]
+		if int(d) == k {
+			continue
+		}
+		for _, w := range g.Neighbors(int(ws.Orig[head])) {
+			if ws.lid[w] == 0 {
+				ws.Orig = append(ws.Orig, w)
+				ws.Dist = append(ws.Dist, d+1)
+				ws.lid[w] = int32(len(ws.Orig))
+			}
+		}
+	}
+	b := len(ws.Orig)
+
+	// Local CSR of the ball, center arcs excluded.
+	if cap(ws.off) < b+1 {
+		ws.off = make([]int32, b+1)
+	}
+	ws.off = ws.off[:b+1]
+	ws.off[0] = 0
+	ws.off[1] = 0 // the center's row is empty
+	deg := 0
+	for l := 1; l < b; l++ {
+		for _, w := range g.Neighbors(int(ws.Orig[l])) {
+			if int(w) != u && ws.lid[w] != 0 {
+				deg++
+			}
+		}
+		ws.off[l+1] = int32(deg)
+	}
+	if cap(ws.tgt) < deg {
+		ws.tgt = make([]int32, deg)
+	}
+	ws.tgt = ws.tgt[:deg]
+	pos := 0
+	for l := 1; l < b; l++ {
+		for _, w := range g.Neighbors(int(ws.Orig[l])) {
+			if int(w) != u && ws.lid[w] != 0 {
+				ws.tgt[pos] = ws.lid[w] - 1
+				pos++
+			}
+		}
+	}
+
+	// Center adjacency, in the center's global adjacency order. Every
+	// neighbor is at distance 1 <= k except when k == 0.
+	ws.CenterAdj = ws.CenterAdj[:0]
+	if k > 0 {
+		for _, w := range g.Neighbors(u) {
+			ws.CenterAdj = append(ws.CenterAdj, ws.lid[w]-1)
+		}
+	}
+
+	// Baselines of the unmodified view.
+	ws.innerBase = 0
+	ws.viewEcc = 0
+	for l := 0; l < b; l++ {
+		d := ws.Dist[l]
+		if int(d) < k {
+			ws.innerBase += int64(d)
+		}
+		if d > ws.viewEcc {
+			ws.viewEcc = d
+		}
+	}
+
+	// Size the incremental buffers; histo must stay all-zero between
+	// ResetBase calls, which fresh allocations and the reset loop both
+	// guarantee.
+	if cap(ws.cur) < b {
+		ws.cur = make([]int32, b)
+	}
+	ws.cur = ws.cur[:b]
+	if cap(ws.histo) < b+1 {
+		ws.histo = make([]int32, b+1)
+	} else {
+		// Clear the previous use's entries at the old length before
+		// reslicing: the new ball may be smaller than the old histoHi.
+		for d := int32(0); d <= ws.histoHi; d++ {
+			ws.histo[d] = 0
+		}
+		ws.histo = ws.histo[:b+1]
+	}
+	ws.histoHi = 0
+	ws.jv = ws.jv[:0]
+	ws.jd = ws.jd[:0]
+}
+
+// account folds vertex l's distance d into the aggregates with the given
+// sign (+1 when d becomes live, -1 when it stops being live).
+func (ws *Workspace) account(l, d int32, sign int32) {
+	vd := ws.Dist[l]
+	if d == unreach32 {
+		ws.unreach += sign
+		if int(vd) < ws.K {
+			ws.innerUnreach += sign
+		} else {
+			ws.frontBad += sign
+		}
+		return
+	}
+	ws.sumReach += int64(sign) * int64(d)
+	ws.histo[d] += sign
+	if sign > 0 && d > ws.histoHi {
+		ws.histoHi = d
+	}
+	if int(vd) < ws.K {
+		ws.innerSum += int64(sign) * int64(d)
+	} else if int(d) > ws.K {
+		ws.frontBad += sign
+	}
+}
+
+// ResetBase recomputes the maintained distances from scratch with the
+// center adjacent to exactly the given locals (O(ball)). It discards any
+// journaled candidate state.
+func (ws *Workspace) ResetBase(edges []int32) {
+	b := len(ws.Orig)
+	for d := int32(0); d <= ws.histoHi; d++ {
+		ws.histo[d] = 0
+	}
+	ws.histoHi = 0
+	ws.sumReach, ws.innerSum = 0, 0
+	ws.unreach, ws.innerUnreach, ws.frontBad = 0, 0, 0
+	ws.jv = ws.jv[:0]
+	ws.jd = ws.jd[:0]
+
+	for l := range ws.cur {
+		ws.cur[l] = unreach32
+	}
+	ws.cur[0] = 0
+	q := ws.queue[:0]
+	for _, e := range edges {
+		if ws.cur[e] > 1 {
+			ws.cur[e] = 1
+			q = append(q, e)
+		}
+	}
+	for head := 0; head < len(q); head++ {
+		v := q[head]
+		d := ws.cur[v]
+		for _, w := range ws.tgt[ws.off[v]:ws.off[v+1]] {
+			if ws.cur[w] == unreach32 {
+				ws.cur[w] = d + 1
+				q = append(q, w)
+			}
+		}
+	}
+	ws.queue = q
+	for l := 0; l < b; l++ {
+		ws.account(int32(l), ws.cur[l], 1)
+	}
+}
+
+// Mark returns an undo token for the current journal position.
+func (ws *Workspace) Mark() int { return len(ws.jv) }
+
+// setDist journals and applies a distance decrease for local l.
+func (ws *Workspace) setDist(l, nd int32) {
+	od := ws.cur[l]
+	ws.jv = append(ws.jv, l)
+	ws.jd = append(ws.jd, od)
+	ws.account(l, od, -1)
+	ws.cur[l] = nd
+	ws.account(l, nd, 1)
+}
+
+// AddEdgeRelax adds the center edge to local w on top of the current
+// state and re-relaxes distances (decrease-only) from the improved
+// region. Pair with Undo(Mark()) to roll back. Only vertices whose
+// distance strictly improves are expanded: distances are 1-Lipschitz
+// along ball edges, so no improvement can propagate through an
+// unimproved vertex.
+func (ws *Workspace) AddEdgeRelax(w int32) {
+	q := ws.queue[:0]
+	if ws.cur[w] > 1 {
+		ws.setDist(w, 1)
+		q = append(q, w)
+	}
+	ws.relax(q)
+}
+
+// AddEdgesRelax is AddEdgeRelax for a batch of center edges, relaxed as
+// one multi-source wave.
+func (ws *Workspace) AddEdgesRelax(targets []int32) {
+	q := ws.queue[:0]
+	for _, w := range targets {
+		if ws.cur[w] > 1 {
+			ws.setDist(w, 1)
+			q = append(q, w)
+		}
+	}
+	ws.relax(q)
+}
+
+func (ws *Workspace) relax(q []int32) {
+	for head := 0; head < len(q); head++ {
+		v := q[head]
+		d := ws.cur[v]
+		for _, w := range ws.tgt[ws.off[v]:ws.off[v+1]] {
+			if ws.cur[w] > d+1 {
+				ws.setDist(w, d+1)
+				q = append(q, w)
+			}
+		}
+	}
+	ws.queue = q
+}
+
+// Undo rolls the journal back to a Mark, restoring distances and
+// aggregates in O(entries undone).
+func (ws *Workspace) Undo(mark int) {
+	for i := len(ws.jv) - 1; i >= mark; i-- {
+		l, od := ws.jv[i], ws.jd[i]
+		ws.account(l, ws.cur[l], -1)
+		ws.cur[l] = od
+		ws.account(l, od, 1)
+	}
+	ws.jv = ws.jv[:mark]
+	ws.jd = ws.jd[:mark]
+}
+
+// CurDist returns the maintained distance from the center to local l
+// (graph.Unreachable when unreached).
+func (ws *Workspace) CurDist(l int) int {
+	if ws.cur[l] == unreach32 {
+		return graph.Unreachable
+	}
+	return int(ws.cur[l])
+}
+
+// SumAll returns the sum of maintained distances over the whole ball,
+// counting graph.Unreachable per unreached vertex — the same arithmetic
+// as summing a full-slice BFS.
+func (ws *Workspace) SumAll() int {
+	return int(ws.sumReach) + int(ws.unreach)*graph.Unreachable
+}
+
+// EccAll returns the maximum maintained distance over the ball
+// (graph.Unreachable when any vertex is unreached).
+func (ws *Workspace) EccAll() int {
+	if ws.unreach > 0 {
+		return graph.Unreachable
+	}
+	for d := ws.histoHi; d >= 0; d-- {
+		if ws.histo[d] > 0 {
+			return int(d)
+		}
+	}
+	return 0
+}
+
+// InnerSum returns Σ cur over the strict interior (Dist < K) and whether
+// the candidate is admissible: false when an interior vertex became
+// unreachable or a frontier/interior vertex was pushed beyond the radius
+// (Prop. 2.2's guard).
+func (ws *Workspace) InnerSum() (sum int64, ok bool) {
+	if ws.innerUnreach > 0 || ws.frontBad > 0 {
+		return 0, false
+	}
+	return ws.innerSum, true
+}
+
+// BallDistFrom runs a BFS from local src over the ball CSR (center
+// excluded) into out, which must have length Size(). Unreached vertices —
+// always including the center — get graph.Unreachable truncated to int32
+// (unreach32); callers should compare with Reached. The maintained
+// incremental state is untouched.
+func (ws *Workspace) BallDistFrom(src int32, out []int32) {
+	for i := range out {
+		out[i] = unreach32
+	}
+	out[src] = 0
+	q := ws.queue[:0]
+	q = append(q, src)
+	for head := 0; head < len(q); head++ {
+		v := q[head]
+		d := out[v]
+		for _, w := range ws.tgt[ws.off[v]:ws.off[v+1]] {
+			if out[w] == unreach32 {
+				out[w] = d + 1
+				q = append(q, w)
+			}
+		}
+	}
+	ws.queue = q
+}
+
+// Reached reports whether a BallDistFrom output entry is a real distance.
+func Reached(d int32) bool { return d != unreach32 }
