@@ -8,7 +8,8 @@
 //	           [-job-ttl 24h] [-gc-interval 1m] [-max-jobs 4096] [-rate 0]
 //	           [-peers URL,URL,...] [-peer-lease 64] [-peer-ttl 45s] [-peer-rate 0]
 //	           [-advertise URL] [-probe-interval 5s] [-peer-backoff-max 2m]
-//	           [-schedule] [-adopt-after 30s] [-tombstone-after 30m] [-pprof]
+//	           [-schedule] [-adopt-after 30s] [-tombstone-after 30m]
+//	           [-replicas 2] [-replica-rate 0] [-pprof]
 //
 // Clustering: every daemon serves POST /peer/leases, computing contiguous
 // cell ranges for remote leaders on its own worker pool (lease work draws
@@ -45,6 +46,20 @@
 // makes the adopted run's output byte-identical to an uninterrupted
 // one, and the generation guard makes a revived ex-leader cede instead
 // of split-braining.
+//
+// Replication: when a job completes, its leader pushes the immutable
+// artifacts (spec, lifecycle record, checkpoint, trajectory sidecar) to
+// the -replicas least-loaded alive members over POST /peer/replicas/{id}
+// (kernel-hash verified on receipt; generation-guarded against zombie
+// ex-leaders; 0 disables pushing). Replicas land under <data>/replicas
+// and make finished results survive the leader's disk: any member
+// holding one serves GET /sweeps/{id}, /results, /summary, and
+// /trajectories for the job directly, a member holding none answers one
+// 307 hop toward a holder, and adoption seeds from a local replica
+// instead of refetching the checkpoint over HTTP. Replicas expire on
+// the same -job-ttl clock as jobs. -replica-rate rate-limits the push
+// endpoint as its own class (whole checkpoints per request — it must
+// not drain the /peer/* bucket gossip depends on).
 //
 // The daemon bounds its own growth: done/failed jobs are garbage-
 // collected -job-ttl after they finish (directory, cache spill files,
@@ -86,7 +101,8 @@
 //	POST   /peer/jobs           run a forwarded sweep locally (the receiving
 //	                            half of -schedule placement)
 //	POST   /peer/jobs/claim     an adopter announces a job's new lease
-//	GET    /healthz             liveness + cache + cluster stats
+//	POST   /peer/replicas/{id}  receive a finished job's verified replica
+//	GET    /healthz             liveness + cache + cluster + replica stats
 //	GET    /metrics             Prometheus text-format counters
 //	GET    /debug/pprof/        net/http/pprof profiles (only with -pprof;
 //	                            exempt from -rate like /healthz)
@@ -111,6 +127,7 @@ import (
 	"repro/internal/sweepd/cluster"
 	"repro/internal/sweepd/sched"
 	"repro/internal/sweepd/shard"
+	"repro/internal/sweepd/store"
 )
 
 // splitPeers parses the -peers flag: empty segments and trailing slashes
@@ -141,11 +158,13 @@ func main() {
 		schedule   = flag.Bool("schedule", true, "place submitted sweeps on the least-loaded alive member and adopt jobs whose leader dies")
 		adoptAfter = flag.Duration("adopt-after", 30*time.Second, "adopt a job whose leader's lease has gone stale for this long")
 		tombAfter  = flag.Duration("tombstone-after", 30*time.Minute, "decommission a member down this long: drop it under a gossiped tombstone (0 disables)")
+		replicas   = flag.Int("replicas", 2, "push each finished job's artifacts to this many least-loaded alive members (0 disables pushing; receiving stays on)")
+		replRate   = flag.Float64("replica-rate", 0, "request limit for POST /peer/replicas/{id} in req/s (0 = unlimited)")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default; exempt from -rate like /healthz)")
 	)
 	flag.Parse()
 
-	store, err := sweepd.OpenStore(*data)
+	jobStore, err := sweepd.OpenStore(*data)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -161,9 +180,17 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	mgr := sweepd.NewManager(store, cache, *workers)
+	mgr := sweepd.NewManager(jobStore, cache, *workers)
 	mgr.SetMaxJobs(*maxJobs)
-	cfg := sweepd.Config{ReadRate: *rate, MutateRate: *rate, PeerRate: *peerRate}
+	// Replica storage is always on (receiving costs nothing until a peer
+	// pushes); -replicas only governs how many copies this daemon pushes
+	// of its OWN finished jobs.
+	replicaSet, err := store.OpenReplicaSet(filepath.Join(*data, "replicas"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr.SetReplicas(replicaSet)
+	cfg := sweepd.Config{ReadRate: *rate, MutateRate: *rate, PeerRate: *peerRate, ReplicaRate: *replRate}
 	// Every daemon runs a membership registry, even a bare one: it must
 	// accept POST /peer/hello so late-booting daemons can join a cluster
 	// this daemon anchors. Seeds (-peers) start alive; the probe loop
@@ -195,6 +222,29 @@ func main() {
 	mgr.SetExecutorProvider(pool)
 	cfg.PeerStats = pool.Stats
 	cfg.Cluster = registry
+	var replicator *sweepd.Replicator
+	if *replicas > 0 {
+		replicator = sweepd.NewReplicator(sweepd.ReplicatorOptions{
+			Store:   jobStore,
+			Fanout:  *replicas,
+			Self:    registry.Self,
+			Targets: registry.AliveLoads,
+			Holders: registry.ReplicaHolders,
+			Generation: func(id string) uint64 {
+				// The manifest carries our lease generation so a zombie
+				// ex-leader's late push cannot clobber the adopter's copy.
+				for _, l := range registry.Leases() {
+					if l.JobID == id {
+						return l.Generation
+					}
+				}
+				return 1
+			},
+			Logf: log.Printf,
+		})
+		mgr.OnFinish(replicator.JobFinished)
+		cfg.ReplicaStats = replicator.Stats
+	}
 	var scheduler *sched.Scheduler
 	if *schedule {
 		scheduler, err = sched.New(sched.Options{
@@ -267,4 +317,7 @@ func main() {
 	}
 	registry.Close()
 	mgr.Close()
+	if replicator != nil {
+		replicator.Close()
+	}
 }

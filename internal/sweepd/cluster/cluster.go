@@ -209,6 +209,11 @@ type Registry struct {
 	leases map[string]*leaseRec
 	// tombs maps decommissioned URLs to their tombstone expiry.
 	tombs map[string]time.Time
+	// replicas maps member URL → the finished-job IDs it advertises
+	// replicas of. Each entry comes only from that member's own gossiped
+	// ReplicaAd (hearsay rejected), so a stale third party can never
+	// point reads at a replica the holder dropped.
+	replicas map[string][]string
 
 	probes        atomic.Uint64
 	probeFailures atomic.Uint64
@@ -272,6 +277,7 @@ func New(opts Options) *Registry {
 		selfURLs:   make(map[string]bool),
 		leases:     make(map[string]*leaseRec),
 		tombs:      make(map[string]time.Time),
+		replicas:   make(map[string][]string),
 	}
 	if r.self != "" {
 		r.selfURLs[r.self] = true
@@ -560,6 +566,30 @@ func (r *Registry) AlivePeers() []string {
 	return out
 }
 
+// ReplicaHolders implements sweepd.ReplicaTable: the advertise URLs of
+// ALIVE members whose own gossiped ad lists a replica of the job,
+// sorted. The read fan-out path redirects misses here; a down holder is
+// excluded so one-hop redirects never point at a corpse.
+func (r *Registry) ReplicaHolders(jobID string) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for u, ids := range r.replicas {
+		m := r.members[u]
+		if m == nil || m.state != StateAlive {
+			continue
+		}
+		for _, id := range ids {
+			if id == jobID {
+				out = append(out, u)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // ReportLeaseFailure implements the shard pool's failure feedback: a
 // lease against an alive peer failed, so demote it to suspect and probe
 // it promptly — subsequent jobs skip it until a probe revives it,
@@ -817,6 +847,23 @@ func (r *Registry) mergeGossipLocked(from string, mr *sweepd.MembersResponse, no
 		}
 	}
 
+	// Replica ads are firsthand-only: the pulled peer is authoritative
+	// for which replicas IT holds, and for nothing else. Its latest ad
+	// replaces our previous copy wholesale (an empty or absent ad means
+	// it holds none — GC may have expired them).
+	var fromAd *sweepd.ReplicaAd
+	for i := range mr.Replicas {
+		if sweepd.NormalizePeerURL(mr.Replicas[i].URL) == from {
+			fromAd = &mr.Replicas[i]
+			break
+		}
+	}
+	if fromAd != nil && len(fromAd.JobIDs) > 0 {
+		r.replicas[from] = append([]string(nil), fromAd.JobIDs...)
+	} else {
+		delete(r.replicas, from)
+	}
+
 	for _, ts := range mr.Tombstones {
 		u := sweepd.NormalizePeerURL(ts.URL)
 		if u == "" || r.selfURLs[u] || !ts.Until.After(now) {
@@ -861,6 +908,11 @@ func (r *Registry) maintainLocked(now time.Time) {
 	for u, until := range r.tombs {
 		if !until.After(now) {
 			delete(r.tombs, u)
+		}
+	}
+	for u := range r.replicas {
+		if r.members[u] == nil {
+			delete(r.replicas, u)
 		}
 	}
 	for id, rec := range r.leases {

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/dynamics"
 	"repro/internal/ncgio"
+	"repro/internal/sweepd/store"
 )
 
 // Error classes the HTTP layer maps to status codes: a store failure is
@@ -61,6 +62,10 @@ type Job struct {
 	// in the store's meta.json, so TTL GC survives restarts.
 	Created  time.Time `json:"created,omitzero"`
 	Finished time.Time `json:"finished,omitzero"`
+	// Replica marks a snapshot served from this daemon's replica of a
+	// finished job it never ran (read fan-out), not from the manager's
+	// own job table.
+	Replica bool `json:"replica,omitempty"`
 }
 
 type jobState struct {
@@ -95,9 +100,12 @@ func (js *jobState) restartable() bool {
 // files, consults the shared result cache, and resumes unfinished jobs
 // after a restart.
 type Manager struct {
-	store   *Store
+	store   JobStore
 	cache   *Cache
 	workers int
+	// replicas, when set, is this daemon's local copies of other members'
+	// finished jobs; nil outside clusters with replication enabled.
+	replicas *store.ReplicaSet
 	// gate is the daemon-wide worker-token bucket: every job's pool draws
 	// from it, so total CPU-bound concurrency stays at `workers` no matter
 	// how many jobs run (or resume) at once.
@@ -122,6 +130,9 @@ type Manager struct {
 	// evictHooks run (outside mu) after each eviction; the HTTP layer
 	// registers one to drop its per-job summary state.
 	evictHooks []func(id string)
+	// finishHooks run (outside mu) each time a job reaches a terminal
+	// status; the replicator registers one to push finished checkpoints.
+	finishHooks []func(job Job)
 	// cellsAppended counts checkpoint lines written since this manager
 	// started (computed or cache-served; resume-skipped cells excluded),
 	// feeding the /metrics throughput gauges.
@@ -141,7 +152,7 @@ type Manager struct {
 // NewManager wires a manager over a store and a (possibly nil) cache.
 // workers ≤ 0 means GOMAXPROCS; the bound applies across all jobs
 // combined, not per job.
-func NewManager(store *Store, cache *Cache, workers int) *Manager {
+func NewManager(store JobStore, cache *Cache, workers int) *Manager {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -190,6 +201,66 @@ func (m *Manager) OnEvict(fn func(id string)) {
 	m.mu.Lock()
 	m.evictHooks = append(m.evictHooks, fn)
 	m.mu.Unlock()
+}
+
+// OnFinish registers fn to run (outside the manager lock, with a
+// snapshot of the job) each time a job reaches a terminal status —
+// including terminal jobs re-registered by Resume, so replication
+// deficits heal across restarts. Used by the replicator to push
+// finished checkpoints to peers. Call before Resume.
+func (m *Manager) OnFinish(fn func(job Job)) {
+	m.mu.Lock()
+	m.finishHooks = append(m.finishHooks, fn)
+	m.mu.Unlock()
+}
+
+// SetReplicas installs this daemon's replica store (local copies of
+// other members' finished jobs). Call before serving traffic; nil (the
+// default) disables replica-served reads and replica-seeded adoption.
+func (m *Manager) SetReplicas(rs *store.ReplicaSet) {
+	m.mu.Lock()
+	m.replicas = rs
+	m.mu.Unlock()
+}
+
+// Replicas returns the daemon's replica store (nil when replication is
+// disabled).
+func (m *Manager) Replicas() *store.ReplicaSet {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.replicas
+}
+
+// ReplicaCheckpoint returns the raw checkpoint bytes of a locally held
+// replica of the job, or nil when no replica (or no replica store)
+// exists. The scheduler's adoption path prefers this over refetching
+// the checkpoint tail from peers over HTTP — a dead leader's job seeds
+// from the local copy.
+func (m *Manager) ReplicaCheckpoint(id string) []byte {
+	rs := m.Replicas()
+	if rs == nil {
+		return nil
+	}
+	man, err := rs.Manifest(id)
+	if err != nil || man.JobID != id {
+		return nil
+	}
+	data, err := os.ReadFile(rs.ResultsPath(id))
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// fireFinishHooks runs the registered finish hooks (outside mu) with a
+// snapshot of the job.
+func (m *Manager) fireFinishHooks(job Job) {
+	m.mu.Lock()
+	hooks := slices.Clone(m.finishHooks)
+	m.mu.Unlock()
+	for _, fn := range hooks {
+		fn(job)
+	}
 }
 
 // Resume scans the store and restarts every job whose checkpoint is
@@ -474,8 +545,10 @@ func (m *Manager) finish(js *jobState, status JobStatus, errMsg string) {
 	js.job.Finished = m.now()
 	meta := JobMeta{Created: js.job.Created, Finished: js.job.Finished}
 	id := js.job.ID
+	job := js.job
 	m.mu.Unlock()
 	m.store.WriteMeta(id, meta) //nolint:errcheck // best-effort; GC falls back to Created
+	m.fireFinishHooks(job)
 }
 
 // executorFor composes the job's compute backend: the sharding provider's
@@ -922,11 +995,16 @@ func (m *Manager) StartGC(ttl, interval time.Duration) {
 }
 
 // gcOnce runs one GC pass: sweep half-created orphan dirs older than
-// ttl, then evict every done/failed job whose terminal timestamp (or,
-// lacking one, its creation time) is at least ttl old.
+// ttl, expire replicas stored at least ttl ago (their receiver-stamped
+// clock, so expiry never depends on the dead leader's clock), then
+// evict every done/failed job whose terminal timestamp (or, lacking
+// one, its creation time) is at least ttl old.
 func (m *Manager) gcOnce(ttl time.Duration) {
 	cutoff := m.now().Add(-ttl)
 	m.store.SweepOrphans(cutoff) //nolint:errcheck // best-effort
+	if rs := m.Replicas(); rs != nil {
+		rs.SweepExpired(cutoff) //nolint:errcheck // best-effort
+	}
 	m.mu.Lock()
 	var victims []string
 	for id, js := range m.jobs {

@@ -236,6 +236,9 @@ type SchedStats struct {
 	// generation comparison (this daemon kept computing as a non-leader).
 	Adoptions      uint64 `json:"adoptions"`
 	LeadershipLost uint64 `json:"leadership_lost"`
+	// ReplicaSeeds counts adoptions whose checkpoint was seeded from a
+	// local replica instead of an HTTP tail-fetch from peers.
+	ReplicaSeeds uint64 `json:"replica_seeds"`
 }
 
 // HelloRequest is the wire form of POST /peer/hello: a booting daemon
@@ -260,14 +263,45 @@ type MemberInfo struct {
 	Load *LoadInfo `json:"load,omitempty"`
 }
 
+// ReplicaAd advertises which finished jobs a member holds replicas of.
+// Each daemon gossips only its OWN ad (receivers reject hearsay — only
+// ad.URL == the gossiping peer is merged), so the replica table spreads
+// one authoritative hop at a time on the existing probe cycle, exactly
+// like capacity.
+type ReplicaAd struct {
+	URL    string   `json:"url"`
+	JobIDs []string `json:"job_ids"`
+}
+
+// ReplicaStats snapshots the replicator for /healthz and /metrics.
+type ReplicaStats struct {
+	// Pushed / PushFailures count replica POSTs by outcome; BytesPushed
+	// totals the body bytes of successful pushes.
+	Pushed       uint64 `json:"pushed"`
+	PushFailures uint64 `json:"push_failures"`
+	BytesPushed  uint64 `json:"bytes_pushed"`
+}
+
+// ReplicaTable is the optional Membership extension the read fan-out
+// path consults: which alive members hold a replica of a job.
+// cluster.Registry implements it from gossiped ReplicaAds.
+type ReplicaTable interface {
+	// ReplicaHolders returns the advertise URLs of alive members known
+	// to hold a replica of the job (possibly empty; never self).
+	ReplicaHolders(jobID string) []string
+}
+
 // MembersResponse is the GET /peer/members (and POST /peer/hello
-// response) payload. Leases and Tombstones ride along so one gossip
-// pull per cycle carries membership, capacity, job leadership, and
-// decommissions at once.
+// response) payload. Leases, Tombstones, and Replicas ride along so one
+// gossip pull per cycle carries membership, capacity, job leadership,
+// decommissions, and replica placement at once.
 type MembersResponse struct {
 	Members    []MemberInfo `json:"members"`
 	Leases     []JobLease   `json:"leases,omitempty"`
 	Tombstones []Tombstone  `json:"tombstones,omitempty"`
+	// Replicas carries replica advertisements; daemons include only
+	// their own ad (receivers ignore entries for other URLs).
+	Replicas []ReplicaAd `json:"replicas,omitempty"`
 }
 
 // ClusterStats snapshots the membership layer for /healthz and /metrics.

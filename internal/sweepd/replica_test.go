@@ -1,0 +1,291 @@
+package sweepd
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sweepd/store"
+)
+
+// newReplicaRig builds a lifecycle rig with replica storage enabled —
+// the receiving side of a replication push.
+func newReplicaRig(t *testing.T, cfg Config) (*Manager, *handler, *httptest.Server, string) {
+	t.Helper()
+	mgr, _, h, srv, dir := newLifecycleRig(t, cfg)
+	rs, err := store.OpenReplicaSet(filepath.Join(dir, "replicas"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.SetReplicas(rs)
+	return mgr, h, srv, dir
+}
+
+// runDoneJob submits a spec on the rig's manager and waits for the
+// terminal snapshot.
+func runDoneJob(t *testing.T, mgr *Manager, sp Spec) Job {
+	t.Helper()
+	sp.Normalize()
+	job, _, err := mgr.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return waitStatus(t, mgr, job.ID, StatusDone)
+}
+
+func getRaw(t *testing.T, url string, header map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestReplicationPushAndReplicaServedReads is the tentpole contract at
+// the package level: a leader pushes a finished trajectory job to a
+// follower; the follower then serves the job snapshot, results, and
+// sidecar from its replica — byte-identical to the leader — with a
+// working ETag.
+func TestReplicationPushAndReplicaServedReads(t *testing.T) {
+	leaderMgr, _, _, leaderSrv, _ := newLifecycleRig(t, Config{})
+	_, fh, followerSrv, _ := newReplicaRig(t, Config{})
+
+	sp := Spec{N: 10, Alphas: []float64{1}, Ks: []int{2}, Seeds: 2, Trajectories: true}
+	job := runDoneJob(t, leaderMgr, sp)
+
+	rp := NewReplicator(ReplicatorOptions{
+		Store:  leaderMgr.store,
+		Fanout: 1,
+		Self:   func() string { return leaderSrv.URL },
+		Targets: func() []MemberLoad {
+			return []MemberLoad{{URL: followerSrv.URL}}
+		},
+		Logf: t.Logf,
+	})
+	if err := rp.Replicate(job); err != nil {
+		t.Fatal(err)
+	}
+	if st := rp.Stats(); st.Pushed != 1 || st.PushFailures != 0 || st.BytesPushed == 0 {
+		t.Fatalf("push stats = %+v", st)
+	}
+	if got := fh.replicasReceived.Load(); got != 1 {
+		t.Fatalf("follower received %d replicas, want 1", got)
+	}
+
+	// The follower never ran the job but must now answer for it.
+	resp, body := getRaw(t, followerSrv.URL+"/sweeps/"+job.ID, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follower GET /sweeps/%s = %d: %s", job.ID, resp.StatusCode, body)
+	}
+	var snap Job
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Replica || snap.Status != StatusDone || snap.Completed != snap.Total {
+		t.Fatalf("replica-served snapshot = %+v; want done, complete, Replica=true", snap)
+	}
+
+	// Byte-identical results and sidecar, leader vs replica.
+	_, leaderResults := getRaw(t, leaderSrv.URL+"/sweeps/"+job.ID+"/results", nil)
+	resp, replicaResults := getRaw(t, followerSrv.URL+"/sweeps/"+job.ID+"/results", nil)
+	if resp.StatusCode != http.StatusOK || string(replicaResults) != string(leaderResults) {
+		t.Fatalf("replica results differ from leader's (status %d, %d vs %d bytes)",
+			resp.StatusCode, len(replicaResults), len(leaderResults))
+	}
+	if got := resp.Header.Get("X-Sweep-Status"); got != string(StatusDone) {
+		t.Fatalf("replica results X-Sweep-Status = %q", got)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("replica-served done results carry no ETag")
+	}
+	_, leaderTraj := getRaw(t, leaderSrv.URL+"/sweeps/"+job.ID+"/trajectories", nil)
+	resp, replicaTraj := getRaw(t, followerSrv.URL+"/sweeps/"+job.ID+"/trajectories", nil)
+	if resp.StatusCode != http.StatusOK || string(replicaTraj) != string(leaderTraj) {
+		t.Fatalf("replica trajectories differ from leader's (status %d)", resp.StatusCode)
+	}
+	if fh.replicaReads.Load() == 0 {
+		t.Fatal("replica read counter never moved")
+	}
+
+	// Conditional poll: the immutable validator answers 304, no body —
+	// and the leader mints the same ETag (determinism), so a client can
+	// revalidate against any holder.
+	resp, body = getRaw(t, followerSrv.URL+"/sweeps/"+job.ID+"/results", map[string]string{"If-None-Match": etag})
+	if resp.StatusCode != http.StatusNotModified || len(body) != 0 {
+		t.Fatalf("If-None-Match = %d with %d body bytes, want 304 empty", resp.StatusCode, len(body))
+	}
+	resp, _ = getRaw(t, leaderSrv.URL+"/sweeps/"+job.ID+"/results", map[string]string{"If-None-Match": etag})
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("leader If-None-Match with replica ETag = %d, want 304", resp.StatusCode)
+	}
+	if fh.notModified.Load() == 0 {
+		t.Fatal("not-modified counter never moved")
+	}
+
+	// Re-replication at the same generation is idempotent: the push
+	// succeeds (200) but the follower stores nothing new.
+	if err := rp.Replicate(job); err != nil {
+		t.Fatal(err)
+	}
+	if got := fh.replicasReceived.Load(); got != 1 {
+		t.Fatalf("same-generation re-push stored again (received=%d)", got)
+	}
+
+	// A holder already counted against the fanout means no push at all.
+	rp2 := NewReplicator(ReplicatorOptions{
+		Store:   leaderMgr.store,
+		Fanout:  1,
+		Targets: func() []MemberLoad { return []MemberLoad{{URL: followerSrv.URL}} },
+		Holders: func(string) []string { return []string{followerSrv.URL} },
+	})
+	if err := rp2.Replicate(job); err != nil {
+		t.Fatal(err)
+	}
+	if st := rp2.Stats(); st.Pushed != 0 {
+		t.Fatalf("deficit-free replicate still pushed %d", st.Pushed)
+	}
+}
+
+// TestReceiveReplicaVerification exercises the receive guards: nothing
+// unverified lands, and generations are monotonic.
+func TestReceiveReplicaVerification(t *testing.T) {
+	leaderMgr, _, _, _, _ := newLifecycleRig(t, Config{})
+	_, fh, followerSrv, _ := newReplicaRig(t, Config{})
+
+	sp := Spec{N: 10, Alphas: []float64{1}, Ks: []int{2}, Seeds: 2}
+	job := runDoneJob(t, leaderMgr, sp)
+
+	rp := NewReplicator(ReplicatorOptions{Store: leaderMgr.store, Generation: func(string) uint64 { return 5 }})
+	body, _, err := rp.buildBody(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(id string, b []byte) int {
+		resp, err := http.Post(followerSrv.URL+"/peer/replicas/"+id, "application/x-ndjson", strings.NewReader(string(b)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	mutate := func(f func(m *store.ReplicaManifest)) []byte {
+		nl := strings.IndexByte(string(body), '\n')
+		var m store.ReplicaManifest
+		if err := json.Unmarshal(body[:nl], &m); err != nil {
+			t.Fatal(err)
+		}
+		f(&m)
+		head, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(append(head, '\n'), body[nl+1:]...)
+	}
+
+	// A push under a different job ID must not land under either ID.
+	if code := post("00000000000000aa", body); code != http.StatusBadRequest {
+		t.Fatalf("mismatched URL id accepted: %d", code)
+	}
+	// A kernel-hash mismatch is a corrupt or mislabeled push.
+	if code := post(job.ID, mutate(func(m *store.ReplicaManifest) { m.Kernel = "0badc0de" })); code != http.StatusBadRequest {
+		t.Fatalf("bad kernel accepted: %d", code)
+	}
+	// Only done jobs replicate.
+	if code := post(job.ID, mutate(func(m *store.ReplicaManifest) { m.Status = "canceled" })); code != http.StatusBadRequest {
+		t.Fatalf("non-done status accepted: %d", code)
+	}
+	// A truncated checkpoint (one line short) must be rejected.
+	nl := strings.IndexByte(string(body), '\n')
+	tail := body[nl+1:]
+	lastLine := strings.LastIndexByte(strings.TrimRight(string(tail), "\n"), '\n')
+	short := append(append([]byte{}, body[:nl+1]...), tail[:lastLine+1]...)
+	if code := post(job.ID, short); code != http.StatusBadRequest {
+		t.Fatalf("short checkpoint accepted: %d", code)
+	}
+	if got := fh.replicasReceived.Load(); got != 0 {
+		t.Fatalf("%d rejected pushes were counted as received", got)
+	}
+
+	// Generation guard: gen 5 lands; a deposed leader's gen 4 answers
+	// 409 and changes nothing; gen 5 again is idempotent.
+	if code := post(job.ID, body); code != http.StatusOK {
+		t.Fatalf("valid push = %d", code)
+	}
+	if code := post(job.ID, mutate(func(m *store.ReplicaManifest) { m.Generation = 4 })); code != http.StatusConflict {
+		t.Fatalf("lower-generation push = %d, want 409", code)
+	}
+	if code := post(job.ID, body); code != http.StatusOK {
+		t.Fatalf("same-generation re-push = %d, want 200", code)
+	}
+	if got := fh.replicasReceived.Load(); got != 1 {
+		t.Fatalf("received counter = %d, want exactly 1 store", got)
+	}
+}
+
+// fakeReplicaMesh is a Membership + ReplicaTable + Self stub for the
+// redirect path.
+type fakeReplicaMesh struct {
+	self    string
+	holders map[string][]string
+}
+
+func (f *fakeReplicaMesh) Hello(string)                    {}
+func (f *fakeReplicaMesh) Members() []MemberInfo           { return nil }
+func (f *fakeReplicaMesh) ClusterStats() ClusterStats      { return ClusterStats{} }
+func (f *fakeReplicaMesh) Self() string                    { return f.self }
+func (f *fakeReplicaMesh) ReplicaHolders(id string) []string { return f.holders[id] }
+
+// TestReadRedirectOneHop: a daemon holding neither primary nor replica
+// answers 307 toward a holder, and the forwarded hop marker prevents a
+// second bounce.
+func TestReadRedirectOneHop(t *testing.T) {
+	id := "00000000000000ab"
+	mesh := &fakeReplicaMesh{
+		self:    "http://self.invalid",
+		holders: map[string][]string{id: {"http://holder.invalid"}},
+	}
+	_, _, _, srv, _ := newLifecycleRig(t, Config{Cluster: mesh})
+
+	resp, _ := getRaw(t, srv.URL+"/sweeps/"+id+"/results", nil)
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("unknown-job read = %d, want 307", resp.StatusCode)
+	}
+	loc := resp.Header.Get("Location")
+	if !strings.HasPrefix(loc, "http://holder.invalid/sweeps/"+id+"/results") || !strings.Contains(loc, "hop=1") {
+		t.Fatalf("redirect Location = %q", loc)
+	}
+
+	// The hop marker must stop the chain dead: 404, not another 307.
+	resp, _ = getRaw(t, srv.URL+"/sweeps/"+id+"/results?hop=1", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("hop=1 read = %d, want 404", resp.StatusCode)
+	}
+
+	// No holder and no lease: nothing to point at, plain 404.
+	resp, _ = getRaw(t, srv.URL+"/sweeps/00000000000000cd/results", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("holderless read = %d, want 404", resp.StatusCode)
+	}
+}

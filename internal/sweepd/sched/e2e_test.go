@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/sweepd"
 	"repro/internal/sweepd/cluster"
 	"repro/internal/sweepd/sched"
+	storepkg "repro/internal/sweepd/store"
 )
 
 const (
@@ -37,6 +39,8 @@ type daemon struct {
 	mgr   *sweepd.Manager
 	reg   *cluster.Registry
 	sch   *sched.Scheduler
+	rs    *storepkg.ReplicaSet
+	rep   *sweepd.Replicator
 	srv   *httptest.Server
 	dead  sync.Once
 }
@@ -77,14 +81,37 @@ func buildDaemon(dir string, workers int, leaseExpiry time.Duration, seeds ...st
 		mgr.Close()
 		return nil, err
 	}
+	rs, err := storepkg.OpenReplicaSet(filepath.Join(dir, "replicas"))
+	if err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	mgr.SetReplicas(rs)
+	rep := sweepd.NewReplicator(sweepd.ReplicatorOptions{
+		Store:   store,
+		Fanout:  2,
+		Self:    reg.Self,
+		Targets: reg.AliveLoads,
+		Holders: reg.ReplicaHolders,
+		Generation: func(id string) uint64 {
+			for _, l := range reg.Leases() {
+				if l.JobID == id {
+					return l.Generation
+				}
+			}
+			return 1
+		},
+	})
+	mgr.OnFinish(rep.JobFinished)
 	h := sweepd.NewHandlerConfig(mgr, sweepd.Config{
 		PollInterval:      5 * time.Millisecond,
 		HeartbeatInterval: 20 * time.Millisecond,
 		Cluster:           reg,
 		Sched:             sch,
 		SchedStats:        sch.Stats,
+		ReplicaStats:      rep.Stats,
 	})
-	d := &daemon{dir: dir, store: store, mgr: mgr, reg: reg, sch: sch}
+	d := &daemon{dir: dir, store: store, mgr: mgr, reg: reg, sch: sch, rs: rs, rep: rep}
 	d.srv = httptest.NewServer(h)
 	reg.SetSelf(d.srv.URL)
 	reg.Start()
@@ -103,6 +130,7 @@ func (d *daemon) kill() {
 		d.sch.Close()
 		d.reg.Close()
 		d.mgr.Close()
+		d.rep.Close()
 	})
 }
 

@@ -42,6 +42,10 @@ type Manager interface {
 	Adopt(sp sweepd.Spec, checkpoint []byte) (sweepd.Job, bool, error)
 	List() []sweepd.Job
 	Load() sweepd.LoadInfo
+	// ReplicaCheckpoint returns the raw checkpoint bytes of a locally
+	// held replica of the job, or nil when none exists — adoption
+	// prefers this over an HTTP tail-fetch from peers.
+	ReplicaCheckpoint(id string) []byte
 }
 
 // failureReporter lets the scheduler tell the registry a peer failed
@@ -103,6 +107,7 @@ type Scheduler struct {
 	forwardFailures atomic.Uint64
 	adoptions       atomic.Uint64
 	leadershipLost  atomic.Uint64
+	replicaSeeds    atomic.Uint64
 }
 
 // New builds a Scheduler; call Start to begin ticking.
@@ -197,6 +202,7 @@ func (s *Scheduler) Stats() sweepd.SchedStats {
 		ForwardFailures: s.forwardFailures.Load(),
 		Adoptions:       s.adoptions.Load(),
 		LeadershipLost:  s.leadershipLost.Load(),
+		ReplicaSeeds:    s.replicaSeeds.Load(),
 	}
 }
 
@@ -443,11 +449,20 @@ func (s *Scheduler) electAdopter(self string) string {
 	return best
 }
 
-// adoptJob takes over an orphaned job: recover whatever checkpoint
-// tail an alive peer still holds, seed it locally, resume the sweep,
-// and publish the generation+1 lease.
+// adoptJob takes over an orphaned job: recover the checkpoint — from
+// this daemon's own replica of the job when one exists (verified on
+// receipt, no network needed, and present even when the dead leader
+// held the only live copy), else whatever tail an alive peer still
+// holds — seed it locally, resume the sweep, and publish the
+// generation+1 lease.
 func (s *Scheduler) adoptJob(self string, l sweepd.JobLease) {
-	checkpoint := s.fetchCheckpoint(l.JobID)
+	checkpoint := s.opts.Manager.ReplicaCheckpoint(l.JobID)
+	if checkpoint != nil {
+		s.replicaSeeds.Add(1)
+		s.logf("sched: seeding adoption of job %s from local replica (%d bytes)", l.JobID, len(checkpoint))
+	} else {
+		checkpoint = s.fetchCheckpoint(l.JobID)
+	}
 	job, _, err := s.opts.Manager.Adopt(l.Spec, checkpoint)
 	if err != nil {
 		s.logf("sched: adopting job %s from %s failed: %v", l.JobID, l.Owner, err)

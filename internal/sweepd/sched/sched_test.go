@@ -119,6 +119,9 @@ type fakeManager struct {
 	submitted []sweepd.Spec
 	adopted   []adoptCall
 	submitErr error
+	// replicaCheckpoints scripts ReplicaCheckpoint by job ID (nil map =
+	// no replicas held).
+	replicaCheckpoints map[string][]byte
 }
 
 func (m *fakeManager) Submit(sp sweepd.Spec) (sweepd.Job, bool, error) {
@@ -150,6 +153,12 @@ func (m *fakeManager) Load() sweepd.LoadInfo {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.load
+}
+
+func (m *fakeManager) ReplicaCheckpoint(id string) []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.replicaCheckpoints[id]
 }
 
 func (m *fakeManager) setJobs(jobs ...sweepd.Job) {
@@ -499,5 +508,38 @@ func TestAdoptionWaitsForStaleness(t *testing.T) {
 	s.tick()
 	if len(m.adopted) != 0 {
 		t.Fatal("adopted from an alive owner")
+	}
+}
+
+// TestAdoptionSeedsFromLocalReplica: when the adopter already holds a
+// verified replica of the job, adoption seeds from those local bytes and
+// never tail-fetches over HTTP — the peer's (different) checkpoint must
+// not be touched.
+func TestAdoptionSeedsFromLocalReplica(t *testing.T) {
+	sp := testSpec()
+	peer := newPeerDaemon(t)
+	peer.checkpoint = []byte("http-tail-must-not-be-used\n")
+
+	c := newFakeCluster("http://self:1")
+	m := &fakeManager{
+		replicaCheckpoints: map[string][]byte{sp.ID(): []byte("replica-bytes\n")},
+	}
+	s := newTestScheduler(t, c, m)
+	past := time.Now().Add(-time.Minute)
+	orphan := sweepd.JobLease{JobID: sp.ID(), Spec: sp, Owner: "http://dead:1", Generation: 1, Updated: past}
+	c.UpdateLease(orphan)
+	c.leases[sp.ID()] = orphan // pin the stale Updated stamp
+	c.members = []sweepd.MemberInfo{
+		{URL: "http://dead:1", State: "down"},
+		{URL: peer.srv.URL, State: "alive"},
+	}
+	c.loads = []sweepd.MemberLoad{{URL: peer.srv.URL, Load: sweepd.LoadInfo{QueueDepth: 5}}}
+
+	s.tick()
+	if len(m.adopted) != 1 || string(m.adopted[0].checkpoint) != "replica-bytes\n" {
+		t.Fatalf("adopt calls = %+v, want one seeded from the local replica", m.adopted)
+	}
+	if st := s.Stats(); st.Adoptions != 1 || st.ReplicaSeeds != 1 {
+		t.Fatalf("stats = %+v, want Adoptions=1 ReplicaSeeds=1", st)
 	}
 }

@@ -1,6 +1,7 @@
 package sweepd
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -17,7 +18,12 @@ import (
 	"repro/internal/dynamics"
 	"repro/internal/ncgio"
 	"repro/internal/stats"
+	"repro/internal/sweepd/store"
 )
+
+// maxReplicaBody bounds one POST /peer/replicas/{id} body (manifest +
+// full checkpoint + sidecar), mirroring the adoption tail-fetch cap.
+const maxReplicaBody = 64 << 20
 
 // Config tunes the HTTP layer. The zero value serves with production
 // defaults: 150ms follow-mode polling, 15s heartbeats, no rate limits.
@@ -39,6 +45,14 @@ type Config struct {
 	ReadRate   float64
 	MutateRate float64
 	PeerRate   float64
+	// ReplicaRate is its own class for POST /peer/replicas/{id}: replica
+	// pushes carry whole checkpoints, so they must not drain the peer
+	// bucket that gossip pulls and lease streams depend on.
+	ReplicaRate float64
+	// ReplicaStats, when set, feeds the replicator's push counters
+	// (pushed, failures, bytes) into /metrics and /healthz;
+	// cmd/ncg-server wires it to the sweepd.Replicator.
+	ReplicaStats func() ReplicaStats
 	// PeerStats, when set, feeds the leader-side sharding counters
 	// (leases issued, remote cells, failures) into /metrics and /healthz;
 	// cmd/ncg-server wires it to the shard.Pool.
@@ -69,9 +83,10 @@ type handler struct {
 	pollInterval      time.Duration
 	heartbeatInterval time.Duration
 
-	readBucket   *tokenBucket
-	mutateBucket *tokenBucket
-	peerBucket   *tokenBucket
+	readBucket    *tokenBucket
+	mutateBucket  *tokenBucket
+	peerBucket    *tokenBucket
+	replicaBucket *tokenBucket
 	// throttled counts 429s issued by the rate limiter; quotaRejections
 	// counts submissions refused by the -max-jobs cap.
 	throttled       atomic.Uint64
@@ -89,6 +104,19 @@ type handler struct {
 	// schedStats snapshots its counters for /metrics and /healthz.
 	sched      Submitter
 	schedStats func() SchedStats
+	// replicaStats snapshots the replicator's push counters; the receive
+	// and read-fan-out side is counted here in the handler.
+	replicaStats func() ReplicaStats
+	// replicasReceived / replicaBytesReceived count verified replica
+	// pushes landed on this daemon; replicaReads counts terminal reads
+	// served from the local replica set; replicaRedirects counts reads of
+	// unknown jobs answered with a one-hop redirect to a likely holder;
+	// notModified counts conditional reads answered 304.
+	replicasReceived     atomic.Uint64
+	replicaBytesReceived atomic.Uint64
+	replicaReads         atomic.Uint64
+	replicaRedirects     atomic.Uint64
+	notModified          atomic.Uint64
 
 	mu        sync.Mutex
 	summaries map[string]*summaryState
@@ -145,6 +173,8 @@ func (h *handler) rateLimit(next http.Handler) http.Handler {
 		}
 		bucket, class := h.readBucket, "read"
 		switch {
+		case strings.HasPrefix(r.URL.Path, "/peer/replicas"):
+			bucket, class = h.replicaBucket, "replica"
 		case strings.HasPrefix(r.URL.Path, "/peer/"):
 			bucket, class = h.peerBucket, "peer"
 		case r.Method != http.MethodGet && r.Method != http.MethodHead:
@@ -173,7 +203,9 @@ func (h *handler) rateLimit(next http.Handler) http.Handler {
 //	GET    /sweeps/{id}         one job snapshot
 //	GET    /sweeps/{id}/results stream the checkpoint as NDJSON (results so far);
 //	                            ?follow=1 tails a running job to its terminal
-//	                            status (sent as the X-Sweep-Status trailer)
+//	                            status (sent as the X-Sweep-Status trailer);
+//	                            done jobs carry a strong ETag and honor
+//	                            If-None-Match with 304
 //	GET    /sweeps/{id}/summary per-(α,k) stats.Summarize roll-ups, server-side
 //	GET    /sweeps/{id}/trajectories
 //	                            stream the per-round trajectory sidecar as
@@ -196,8 +228,18 @@ func (h *handler) rateLimit(next http.Handler) http.Handler {
 //	                            cluster forward)
 //	POST   /peer/jobs/claim     an adopter announces its new job lease so
 //	                            peers converge before the next gossip cycle
+//	POST   /peer/replicas/{id}  receive one finished job's immutable
+//	                            artifacts (manifest line + checkpoint +
+//	                            sidecar), verified against the job's
+//	                            content address and kernel hash and
+//	                            generation-guarded against zombie leaders
 //	GET    /healthz             liveness + job/cache counters
 //	GET    /metrics             Prometheus text-format counters
+//
+// When replica storage is enabled, the GET /sweeps/{id}... reads also
+// serve terminal jobs this daemon holds a replica of; a job held
+// neither way answers one 307 hop toward a member the replica or lease
+// table says has it.
 func NewHandler(m *Manager) http.Handler {
 	return NewHandlerConfig(m, Config{})
 }
@@ -232,10 +274,12 @@ func buildHandler(m *Manager, cfg Config) (*handler, http.Handler) {
 		readBucket:        newTokenBucket(cfg.ReadRate, cfg.now),
 		mutateBucket:      newTokenBucket(cfg.MutateRate, cfg.now),
 		peerBucket:        newTokenBucket(cfg.PeerRate, cfg.now),
+		replicaBucket:     newTokenBucket(cfg.ReplicaRate, cfg.now),
 		peerStats:         cfg.PeerStats,
 		cluster:           cfg.Cluster,
 		sched:             cfg.Sched,
 		schedStats:        cfg.SchedStats,
+		replicaStats:      cfg.ReplicaStats,
 		summaries:         make(map[string]*summaryState),
 	}
 	// Job GC must release the per-job summary state too, or the daemon
@@ -260,6 +304,7 @@ func buildHandler(m *Manager, cfg Config) (*handler, http.Handler) {
 	mux.HandleFunc("GET /peer/members", h.peerMembers)
 	mux.HandleFunc("POST /peer/jobs", h.peerSubmit)
 	mux.HandleFunc("POST /peer/jobs/claim", h.peerClaim)
+	mux.HandleFunc("POST /peer/replicas/{id}", h.receiveReplica)
 	return h, h.rateLimit(mux)
 }
 
@@ -289,6 +334,21 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if h.schedStats != nil {
 		payload["sched"] = h.schedStats()
+	}
+	if rs := h.m.Replicas(); rs != nil {
+		rep := map[string]any{
+			"received":       h.replicasReceived.Load(),
+			"bytes_received": h.replicaBytesReceived.Load(),
+			"reads_served":   h.replicaReads.Load(),
+			"redirects":      h.replicaRedirects.Load(),
+		}
+		if ids, err := rs.List(); err == nil {
+			rep["held"] = len(ids)
+		}
+		if h.replicaStats != nil {
+			rep["push"] = h.replicaStats()
+		}
+		payload["replicas"] = rep
 	}
 	writeJSON(w, http.StatusOK, payload)
 }
@@ -329,6 +389,18 @@ func (h *handler) gossipPayload() MembersResponse {
 	if lt, ok := h.cluster.(LeaseTable); ok {
 		mr.Leases = lt.Leases()
 		mr.Tombstones = lt.Tombstones()
+	}
+	// Only this daemon's OWN replica ad rides along (receivers reject
+	// hearsay), spreading replica placement one authoritative hop per
+	// probe cycle, same as capacity.
+	if rs := h.m.Replicas(); rs != nil {
+		if s, ok := h.cluster.(interface{ Self() string }); ok {
+			if self := s.Self(); self != "" {
+				if ids, err := rs.List(); err == nil && len(ids) > 0 {
+					mr.Replicas = []ReplicaAd{{URL: self, JobIDs: ids}}
+				}
+			}
+		}
 	}
 	return mr
 }
@@ -451,15 +523,185 @@ func (h *handler) peerClaim(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"accepted": lt.UpdateLease(lease)})
 }
 
+// receiveReplica serves POST /peer/replicas/{id}: a leader pushing one
+// finished job's immutable artifacts. The body is one ReplicaManifest
+// line, then the full canonical checkpoint, then (for trajectory specs)
+// the full sidecar. Nothing lands unverified: the spec must hash to the
+// job ID and the manifest kernel, and every line must be the canonical
+// record of its grid position — so a stored replica is exactly as
+// trustworthy as a locally computed checkpoint. The manifest generation
+// is the zombie guard: a push from a deposed leader (lower generation
+// than the stored copy's) answers 409 and changes nothing.
+func (h *handler) receiveReplica(w http.ResponseWriter, r *http.Request) {
+	rs := h.m.Replicas()
+	if rs == nil {
+		writeError(w, http.StatusServiceUnavailable, "replica storage not enabled on this daemon")
+		return
+	}
+	id := r.PathValue("id")
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxReplicaBody+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading replica body: "+err.Error())
+		return
+	}
+	if len(body) > maxReplicaBody {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("replica body exceeds %d bytes", maxReplicaBody))
+		return
+	}
+	nl := bytes.IndexByte(body, '\n')
+	if nl < 0 {
+		writeError(w, http.StatusBadRequest, "replica body has no manifest line")
+		return
+	}
+	var m store.ReplicaManifest
+	if err := json.Unmarshal(body[:nl], &m); err != nil {
+		writeError(w, http.StatusBadRequest, "bad replica manifest: "+err.Error())
+		return
+	}
+	checkpoint, trajectory, ok := splitReplicaBody(body[nl+1:], m.CheckpointLines)
+	if !ok {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("replica body has fewer than the %d checkpoint lines the manifest frames", m.CheckpointLines))
+		return
+	}
+	if _, err := VerifyReplica(id, m, checkpoint, trajectory); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if cur, err := rs.Manifest(id); err == nil {
+		if cur.Generation > m.Generation {
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error": fmt.Sprintf("replica of job %s already stored at generation %d; push was generation %d",
+					id, cur.Generation, m.Generation),
+			})
+			return
+		}
+		if cur.Generation == m.Generation {
+			// Same generation ⇒ same leader ⇒ same immutable bytes
+			// (determinism); re-pushes are idempotent.
+			writeJSON(w, http.StatusOK, map[string]any{"stored": false, "held": true})
+			return
+		}
+	}
+	m.StoredAt = time.Now()
+	if err := rs.Put(m, checkpoint, trajectory); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	h.replicasReceived.Add(1)
+	h.replicaBytesReceived.Add(uint64(len(body)))
+	writeJSON(w, http.StatusOK, map[string]any{"stored": true, "held": true})
+}
+
+// splitReplicaBody cuts a replica body (after the manifest line) at the
+// end of its ckLines-th non-blank line: checkpoint bytes, then sidecar
+// bytes. ok=false when fewer complete lines exist.
+func splitReplicaBody(data []byte, ckLines int) (checkpoint, trajectory []byte, ok bool) {
+	if ckLines < 0 {
+		return nil, nil, false
+	}
+	off, seen := 0, 0
+	for seen < ckLines {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			return nil, nil, false
+		}
+		if len(bytes.TrimSpace(data[off:off+nl])) > 0 {
+			seen++
+		}
+		off += nl + 1
+	}
+	return data[:off], data[off:], true
+}
+
+// replicaJob reconstructs a Job snapshot from a locally held replica of
+// a finished job this manager never ran: the read-fan-out view. The
+// snapshot is marked Replica so clients can tell it from the leader's.
+func (h *handler) replicaJob(id string) (Job, bool) {
+	rs := h.m.Replicas()
+	if rs == nil {
+		return Job{}, false
+	}
+	m, err := rs.Manifest(id)
+	if err != nil || m.JobID != id {
+		return Job{}, false
+	}
+	var sp Spec
+	if err := json.Unmarshal(m.Spec, &sp); err != nil {
+		return Job{}, false
+	}
+	sp.Normalize()
+	total := sp.NumCells()
+	return Job{
+		ID:        id,
+		Spec:      sp,
+		Status:    StatusDone,
+		Total:     total,
+		Completed: total,
+		Created:   m.Created,
+		Finished:  m.Finished,
+		Replica:   true,
+	}, true
+}
+
+// redirectRead answers a read for a job this daemon holds neither a
+// primary nor a replica of: one 307 hop to an alive member the replica
+// table (or, failing that, the lease table) says has it. The forwarded
+// URL carries hop=1 so a stale table cannot bounce a client around the
+// mesh — the second daemon either serves or 404s. Returns false when
+// there is nowhere to point (caller 404s).
+func (h *handler) redirectRead(w http.ResponseWriter, r *http.Request, id string) bool {
+	if h.cluster == nil || r.URL.Query().Get("hop") != "" {
+		return false
+	}
+	self := ""
+	if s, ok := h.cluster.(interface{ Self() string }); ok {
+		self = s.Self()
+	}
+	target := ""
+	if rt, ok := h.cluster.(ReplicaTable); ok {
+		if holders := rt.ReplicaHolders(id); len(holders) > 0 {
+			target = holders[0]
+		}
+	}
+	if target == "" {
+		if lt, ok := h.cluster.(LeaseTable); ok {
+			for _, l := range lt.Leases() {
+				if l.JobID == id && l.Owner != self {
+					target = l.Owner
+					break
+				}
+			}
+		}
+	}
+	if target == "" || target == self {
+		return false
+	}
+	h.replicaRedirects.Add(1)
+	q := r.URL.Query()
+	q.Set("hop", "1")
+	w.Header().Set("Location", target+r.URL.Path+"?"+q.Encode())
+	writeError(w, http.StatusTemporaryRedirect,
+		"sweep not held here; retry against "+target)
+	return true
+}
+
 func (h *handler) list(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"sweeps": h.m.List()})
 }
 
 func (h *handler) get(w http.ResponseWriter, r *http.Request) {
-	job, ok := h.m.Get(r.PathValue("id"))
+	id := r.PathValue("id")
+	job, ok := h.m.Get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such sweep")
-		return
+		if job, ok = h.replicaJob(id); !ok {
+			if h.redirectRead(w, r, id) {
+				return
+			}
+			writeError(w, http.StatusNotFound, "no such sweep")
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, job)
 }
@@ -468,6 +710,17 @@ func (h *handler) results(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	job, ok := h.m.Get(id)
 	if !ok {
+		// Read fan-out: a replica of the finished job serves the exact
+		// bytes the leader would (verified on receipt, immutable since).
+		// No local copy at all → one redirect hop toward a holder.
+		if rjob, rok := h.replicaJob(id); rok {
+			h.replicaReads.Add(1)
+			h.serveLinePrefix(w, r, id, h.m.Replicas().ResultsPath(id), rjob)
+			return
+		}
+		if h.redirectRead(w, r, id) {
+			return
+		}
 		writeError(w, http.StatusNotFound, "no such sweep")
 		return
 	}
@@ -477,7 +730,7 @@ func (h *handler) results(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	h.serveLinePrefix(w, id, h.m.ResultsPath(id), job)
+	h.serveLinePrefix(w, r, id, h.m.ResultsPath(id), job)
 }
 
 // serveLinePrefix streams a checkpoint-format file's whole-line prefix
@@ -492,10 +745,27 @@ func (h *handler) results(w http.ResponseWriter, r *http.Request) {
 // whole-line prefix is served: a crashed writer can leave a torn final
 // line that no runner has repaired yet, and half a JSON record must not
 // reach clients.
-func (h *handler) serveLinePrefix(w http.ResponseWriter, id, path string, job Job) {
+func (h *handler) serveLinePrefix(w http.ResponseWriter, r *http.Request, id, path string, job Job) {
 	f, err := os.Open(path)
+	if err == nil {
+		defer f.Close()
+	}
 	if j, ok := h.m.Get(id); ok {
 		job = j
+	}
+	// A done job's results are immutable (and, by per-cell determinism,
+	// byte-identical wherever they were computed), so id + kernel hash +
+	// status is a strong validator: conditional polls answer 304 with no
+	// body, from leader and replica alike.
+	if job.Status == StatusDone {
+		etag := resultsETag(job)
+		w.Header().Set("ETag", etag)
+		if etagMatch(r.Header.Get("If-None-Match"), etag) {
+			h.notModified.Add(1)
+			w.Header().Set("X-Sweep-Status", string(job.Status))
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
 	}
 	if os.IsNotExist(err) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
@@ -507,7 +777,6 @@ func (h *handler) serveLinePrefix(w http.ResponseWriter, id, path string, job Jo
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	defer f.Close()
 	fi, err := f.Stat()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
@@ -522,6 +791,27 @@ func (h *handler) serveLinePrefix(w http.ResponseWriter, id, path string, job Jo
 	w.Header().Set("X-Sweep-Status", string(job.Status))
 	w.WriteHeader(http.StatusOK)
 	io.Copy(w, io.NewSectionReader(f, 0, clamp)) //nolint:errcheck // client disconnects are routine
+}
+
+// resultsETag is the strong validator of a done job's immutable result
+// bytes: content address + kernel hash + terminal status.
+func resultsETag(job Job) string {
+	kh := job.Spec.KernelHash()
+	if len(kh) > 16 {
+		kh = kh[:16]
+	}
+	return `"` + job.ID + "-" + kh + "-" + string(job.Status) + `"`
+}
+
+// etagMatch implements If-None-Match against one strong ETag.
+func etagMatch(header, etag string) bool {
+	for _, c := range strings.Split(header, ",") {
+		c = strings.TrimSpace(c)
+		if c == etag || c == "*" {
+			return true
+		}
+	}
+	return false
 }
 
 // followResults tails a job's checkpoint until the job reaches a terminal
@@ -622,16 +912,25 @@ func (h *handler) followResults(w http.ResponseWriter, r *http.Request, id strin
 func (h *handler) trajectories(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	job, ok := h.m.Get(id)
+	path := h.m.TrajectoryPath(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such sweep")
-		return
+		if rjob, rok := h.replicaJob(id); rok {
+			job, path = rjob, h.m.Replicas().TrajectoryPath(id)
+			h.replicaReads.Add(1)
+		} else {
+			if h.redirectRead(w, r, id) {
+				return
+			}
+			writeError(w, http.StatusNotFound, "no such sweep")
+			return
+		}
 	}
 	if !job.Spec.Trajectories {
 		writeError(w, http.StatusNotFound,
 			`sweep did not opt into trajectories (set "trajectories": true in the spec)`)
 		return
 	}
-	h.serveLinePrefix(w, id, h.m.TrajectoryPath(id), job)
+	h.serveLinePrefix(w, r, id, path, job)
 }
 
 // peerLease serves POST /peer/leases, the follower half of the sharding
@@ -757,9 +1056,21 @@ func (h *handler) summary(w http.ResponseWriter, r *http.Request) {
 	// only attached to checkpoint bytes read after the status flipped, so
 	// "done" summaries always cover the full grid.
 	job, ok := h.m.Get(id)
+	path := h.m.ResultsPath(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such sweep")
-		return
+		// Replica-held finished jobs summarize like any done job: the
+		// roll-up runs over the replica checkpoint once, freezes, and
+		// serves the frozen payload from then on.
+		if rjob, rok := h.replicaJob(id); rok {
+			job, path = rjob, h.m.Replicas().ResultsPath(id)
+			h.replicaReads.Add(1)
+		} else {
+			if h.redirectRead(w, r, id) {
+				return
+			}
+			writeError(w, http.StatusNotFound, "no such sweep")
+			return
+		}
 	}
 	h.mu.Lock()
 	st := h.summaries[id]
@@ -774,7 +1085,7 @@ func (h *handler) summary(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, *st.final)
 		return
 	}
-	if err := st.advance(h.m.ResultsPath(id)); err != nil {
+	if err := st.advance(path); err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
@@ -1030,7 +1341,46 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP sweepd_sched_leadership_lost_total Local jobs ceded to a peer holding a newer lease generation.\n")
 		fmt.Fprintf(w, "# TYPE sweepd_sched_leadership_lost_total counter\n")
 		fmt.Fprintf(w, "sweepd_sched_leadership_lost_total %d\n", ss.LeadershipLost)
+		fmt.Fprintf(w, "# HELP sweepd_sched_replica_seeds_total Adoptions seeded from a local replica instead of an HTTP tail-fetch.\n")
+		fmt.Fprintf(w, "# TYPE sweepd_sched_replica_seeds_total counter\n")
+		fmt.Fprintf(w, "sweepd_sched_replica_seeds_total %d\n", ss.ReplicaSeeds)
 	}
+	if h.replicaStats != nil {
+		rs := h.replicaStats()
+		fmt.Fprintf(w, "# HELP sweepd_replicas_pushed_total Finished-job replicas successfully pushed to peers.\n")
+		fmt.Fprintf(w, "# TYPE sweepd_replicas_pushed_total counter\n")
+		fmt.Fprintf(w, "sweepd_replicas_pushed_total %d\n", rs.Pushed)
+		fmt.Fprintf(w, "# HELP sweepd_replica_push_failures_total Replica pushes that failed.\n")
+		fmt.Fprintf(w, "# TYPE sweepd_replica_push_failures_total counter\n")
+		fmt.Fprintf(w, "sweepd_replica_push_failures_total %d\n", rs.PushFailures)
+		fmt.Fprintf(w, "# HELP sweepd_replica_bytes_pushed_total Body bytes of successful replica pushes.\n")
+		fmt.Fprintf(w, "# TYPE sweepd_replica_bytes_pushed_total counter\n")
+		fmt.Fprintf(w, "sweepd_replica_bytes_pushed_total %d\n", rs.BytesPushed)
+	}
+	if rset := h.m.Replicas(); rset != nil {
+		held := 0
+		if ids, err := rset.List(); err == nil {
+			held = len(ids)
+		}
+		fmt.Fprintf(w, "# HELP sweepd_replicas_held Finished-job replicas currently stored for other members.\n")
+		fmt.Fprintf(w, "# TYPE sweepd_replicas_held gauge\n")
+		fmt.Fprintf(w, "sweepd_replicas_held %d\n", held)
+		fmt.Fprintf(w, "# HELP sweepd_replicas_received_total Verified replica pushes stored on this daemon.\n")
+		fmt.Fprintf(w, "# TYPE sweepd_replicas_received_total counter\n")
+		fmt.Fprintf(w, "sweepd_replicas_received_total %d\n", h.replicasReceived.Load())
+		fmt.Fprintf(w, "# HELP sweepd_replica_bytes_received_total Body bytes of stored replica pushes.\n")
+		fmt.Fprintf(w, "# TYPE sweepd_replica_bytes_received_total counter\n")
+		fmt.Fprintf(w, "sweepd_replica_bytes_received_total %d\n", h.replicaBytesReceived.Load())
+		fmt.Fprintf(w, "# HELP sweepd_replica_reads_total Terminal reads served from this daemon's replica set.\n")
+		fmt.Fprintf(w, "# TYPE sweepd_replica_reads_total counter\n")
+		fmt.Fprintf(w, "sweepd_replica_reads_total %d\n", h.replicaReads.Load())
+		fmt.Fprintf(w, "# HELP sweepd_replica_redirects_total Reads of unknown jobs answered with a one-hop redirect to a likely holder.\n")
+		fmt.Fprintf(w, "# TYPE sweepd_replica_redirects_total counter\n")
+		fmt.Fprintf(w, "sweepd_replica_redirects_total %d\n", h.replicaRedirects.Load())
+	}
+	fmt.Fprintf(w, "# HELP sweepd_not_modified_total Conditional reads answered 304 via ETag.\n")
+	fmt.Fprintf(w, "# TYPE sweepd_not_modified_total counter\n")
+	fmt.Fprintf(w, "sweepd_not_modified_total %d\n", h.notModified.Load())
 	// Per-job cell wall-time histograms (locally computed cells only).
 	// Jobs with no observations are skipped, and evicted jobs drop their
 	// series, so cardinality tracks the -max-jobs retention cap.

@@ -1,200 +1,105 @@
 package sweepd
 
 import (
-	"bufio"
-	"bytes"
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
-	"regexp"
-	"sort"
 	"time"
 
 	"repro/internal/dynamics"
 	"repro/internal/ncgio"
+	"repro/internal/sweepd/store"
 )
 
-// Store is the durable side of sweepd: one directory per job holding the
-// normalized spec (spec.json) and the streaming results checkpoint
-// (results.jsonl, one canonical ncgio cell line per result, in canonical
-// cell order). Everything a restarted daemon needs to resume lives here.
-type Store struct {
-	root string
+// JobStore is the durable-plane seam: everything the manager (and
+// through it the HTTP, GC, shard, and sched layers) needs from a job
+// store. *Store — the filesystem backend in internal/sweepd/store,
+// wrapped with spec typing — is the default implementation; any backend
+// must pass the storetest conformance suite.
+type JobStore interface {
+	// Root returns the store's base directory (or an equivalent
+	// identifier for non-filesystem backends).
+	Root() string
+	// CreateJob persists a normalized, validated spec under its content
+	// address, idempotently (created=false when the job already exists).
+	CreateJob(sp Spec) (id string, created bool, err error)
+	// LoadSpec reads a job's spec back, normalized.
+	LoadSpec(id string) (Spec, error)
+	// SpecPath names where the job's spec bytes live, for diagnostics.
+	SpecPath(id string) string
+	// WriteMeta / LoadMeta persist the job's lifecycle record; a missing
+	// or corrupt record is an error and callers fall back to timestamps.
+	WriteMeta(id string, meta JobMeta) error
+	LoadMeta(id string) (JobMeta, error)
+	// DeleteJob removes a job entirely — spec, meta, and checkpoint.
+	DeleteJob(id string) error
+	// SweepOrphans removes half-created job artifacts older than cutoff.
+	SweepOrphans(cutoff time.Time) (removed int, err error)
+	// Jobs lists the IDs of all persisted jobs, sorted.
+	Jobs() ([]string, error)
+	// ResultsPath / TrajectoryPath locate the job's checkpoint and
+	// per-round sidecar files for streaming reads.
+	ResultsPath(id string) string
+	TrajectoryPath(id string) string
+	// LoadResults reads a job's checkpoint, repairing a torn tail.
+	LoadResults(id string) ([]dynamics.CellResult, error)
+	// Appender / TrajectoryAppender open the checkpoint and sidecar for
+	// streaming appends.
+	Appender(id string) (*ncgio.CheckpointWriter, error)
+	TrajectoryAppender(id string) (*ncgio.CheckpointWriter, error)
+	// ReconcileTrajectories truncates checkpoint and sidecar to their
+	// longest common cell-prefix before a trajectory job resumes.
+	ReconcileTrajectories(id string) error
 }
 
-var jobIDPattern = regexp.MustCompile(`^[0-9a-f]{16}$`)
+// JobMeta is the job lifecycle record (created / finished timestamps),
+// shared with the store backend.
+type JobMeta = store.Meta
+
+// Store is the default JobStore: the filesystem backend from
+// internal/sweepd/store with spec marshaling layered on top. One
+// directory per job holds the normalized spec (spec.json) and the
+// streaming results checkpoint (results.jsonl, one canonical ncgio cell
+// line per result, in canonical cell order). Everything a restarted
+// daemon needs to resume lives here.
+type Store struct {
+	fs *store.FS
+}
 
 // OpenStore opens (creating if needed) a store rooted at dir. Orphan
 // job dirs left behind by a crash mid-CreateJob are swept on open.
 func OpenStore(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs, err := store.Open(dir)
+	if err != nil {
 		return nil, fmt.Errorf("sweepd: %w", err)
 	}
-	st := &Store{root: dir}
-	st.SweepOrphans(time.Now()) //nolint:errcheck // best-effort cleanup
-	return st, nil
+	return &Store{fs: fs}, nil
 }
 
 // Root returns the store directory.
-func (st *Store) Root() string { return st.root }
-
-func (st *Store) jobDir(id string) string   { return filepath.Join(st.root, id) }
-func (st *Store) specPath(id string) string { return filepath.Join(st.jobDir(id), "spec.json") }
-func (st *Store) metaPath(id string) string { return filepath.Join(st.jobDir(id), "meta.json") }
+func (st *Store) Root() string { return st.fs.Root() }
 
 // SpecPath returns the job's on-disk spec path (error messages point
 // clients and operators at the exact bytes that failed to parse).
-func (st *Store) SpecPath(id string) string { return st.specPath(id) }
+func (st *Store) SpecPath(id string) string { return st.fs.SpecPath(id) }
 
 // ResultsPath returns the job's checkpoint file path.
-func (st *Store) ResultsPath(id string) string {
-	return filepath.Join(st.jobDir(id), "results.jsonl")
-}
+func (st *Store) ResultsPath(id string) string { return st.fs.ResultsPath(id) }
 
 // TrajectoryPath returns the job's per-round trajectory sidecar path
 // (only written for specs with Trajectories set).
-func (st *Store) TrajectoryPath(id string) string {
-	return filepath.Join(st.jobDir(id), "trajectory.jsonl")
-}
+func (st *Store) TrajectoryPath(id string) string { return st.fs.TrajectoryPath(id) }
 
 // TrajectoryAppender opens the job's trajectory sidecar for streaming
-// appends, repairing any torn tail first so a fresh line never merges
-// into a torn one. Callers resuming a job run ReconcileTrajectories
-// before this (which already truncates past the common prefix, torn
-// tails included) — the repair here is the writer's cheap backstop, an
-// O(tail-chunk) backwards scan.
+// appends, repairing any torn tail first.
 func (st *Store) TrajectoryAppender(id string) (*ncgio.CheckpointWriter, error) {
-	path := st.TrajectoryPath(id)
-	if err := ncgio.RepairTail(path); err != nil {
-		return nil, err
-	}
-	return ncgio.NewCheckpointWriter(path)
+	return st.fs.TrajectoryAppender(id)
 }
 
 // ReconcileTrajectories truncates a trajectory job's checkpoint AND
-// sidecar back to their longest common cell-prefix before a resume. The
-// runner appends both files in the same canonical cell order (sidecar
-// line first), so after a clean run they list identical cell sequences;
-// any divergence is crash damage — a process killed between the two
-// appends leaves one surplus sidecar record, and a power loss can
-// persist either file's tail without the other's (the two files fsync
-// independently). Truncating both to the agreed prefix is always safe:
-// per-cell determinism recomputes the dropped tail byte-identically,
-// whereas a checkpointed cell whose sidecar record was lost could never
-// regenerate it (resume skips checkpointed cells). Missing files are
-// empty prefixes. Only the job's own runner may call this (truncation
-// races a live writer).
+// sidecar back to their longest common cell-prefix before a resume; see
+// the store package for the full crash-damage contract.
 func (st *Store) ReconcileTrajectories(id string) error {
-	ckWalk, err := openRecordWalker(st.ResultsPath(id))
-	if err != nil {
-		return err
-	}
-	defer ckWalk.close()
-	trWalk, err := openRecordWalker(st.TrajectoryPath(id))
-	if err != nil {
-		return err
-	}
-	defer trWalk.close()
-
-	// Walk both record streams in lockstep to the longest common cell
-	// prefix; both files stream through fixed-size buffers (resume-sized
-	// checkpoints carry full network states and must not be slurped
-	// twice — LoadResults follows right after).
-	for {
-		ckLine, ckOK := ckWalk.next()
-		trLine, trOK := trWalk.next()
-		if !ckOK || !trOK {
-			break
-		}
-		rec, err := ncgio.UnmarshalCellResult(ckLine)
-		if err != nil {
-			break // torn/corrupt checkpoint tail; drop it and the rest
-		}
-		trec, err := ncgio.UnmarshalTrajectory(trLine)
-		if err != nil || trec.Cell() != rec.Cell {
-			break
-		}
-		ckWalk.commit()
-		trWalk.commit()
-	}
-	if err := ckWalk.truncate(); err != nil {
-		return err
-	}
-	return trWalk.truncate()
-}
-
-// recordWalker streams one checkpoint-format file's non-blank lines,
-// tracking the byte offset of the last committed (agreed-prefix) record
-// so the file can be truncated back to it without ever holding more
-// than a buffer in memory. A missing file walks as empty.
-type recordWalker struct {
-	path      string
-	f         *os.File
-	br        *bufio.Reader
-	size      int64
-	off       int64 // bytes consumed from the reader
-	committed int64 // end of the agreed prefix
-}
-
-func openRecordWalker(path string) (*recordWalker, error) {
-	w := &recordWalker{path: path}
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return w, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("sweepd: %w", err)
-	}
-	fi, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("sweepd: %w", err)
-	}
-	w.f, w.size = f, fi.Size()
-	w.br = bufio.NewReaderSize(f, 64*1024)
-	return w, nil
-}
-
-// next returns the next non-blank line (without its newline); ok=false
-// at EOF or a torn (newline-less) tail.
-func (w *recordWalker) next() ([]byte, bool) {
-	if w.br == nil {
-		return nil, false
-	}
-	for {
-		line, err := w.br.ReadBytes('\n')
-		if err != nil {
-			return nil, false // EOF or torn tail: nothing provably whole
-		}
-		w.off += int64(len(line))
-		trimmed := bytes.TrimSpace(line)
-		if len(trimmed) == 0 {
-			continue
-		}
-		return trimmed, true
-	}
-}
-
-// commit marks everything consumed so far as part of the agreed prefix.
-func (w *recordWalker) commit() { w.committed = w.off }
-
-// truncate cuts the file back to the agreed prefix (no-op when nothing
-// follows it, or the file never existed).
-func (w *recordWalker) truncate() error {
-	if w.f == nil || w.committed >= w.size {
-		return nil
-	}
-	if err := os.Truncate(w.path, w.committed); err != nil {
-		return fmt.Errorf("sweepd: reconciling trajectories: %w", err)
-	}
-	return nil
-}
-
-func (w *recordWalker) close() {
-	if w.f != nil {
-		w.f.Close()
-	}
+	return st.fs.ReconcileTrajectories(id)
 }
 
 // CreateJob persists a normalized, validated spec under its content
@@ -204,150 +109,63 @@ func (w *recordWalker) close() {
 // never be mistaken for a job.
 func (st *Store) CreateJob(sp Spec) (id string, created bool, err error) {
 	id = sp.ID()
-	if _, err := os.Stat(st.specPath(id)); err == nil {
-		return id, false, nil
-	}
-	if err := os.MkdirAll(st.jobDir(id), 0o755); err != nil {
-		return "", false, fmt.Errorf("sweepd: %w", err)
-	}
 	data, err := json.MarshalIndent(sp, "", "  ")
 	if err != nil {
 		return "", false, fmt.Errorf("sweepd: %w", err)
 	}
-	tmp := st.specPath(id) + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	created, err = st.fs.CreateJob(id, append(data, '\n'))
+	if err != nil {
 		return "", false, fmt.Errorf("sweepd: %w", err)
 	}
-	if err := os.Rename(tmp, st.specPath(id)); err != nil {
-		return "", false, fmt.Errorf("sweepd: %w", err)
-	}
-	return id, true, nil
+	return id, created, nil
 }
 
 // LoadSpec reads a job's spec back.
 func (st *Store) LoadSpec(id string) (Spec, error) {
-	data, err := os.ReadFile(st.specPath(id))
+	data, err := st.fs.ReadSpec(id)
 	if err != nil {
 		return Spec{}, fmt.Errorf("sweepd: %w", err)
 	}
 	var sp Spec
 	if err := json.Unmarshal(data, &sp); err != nil {
-		return Spec{}, fmt.Errorf("sweepd: job %s: invalid spec %s: %w", id, st.specPath(id), err)
+		return Spec{}, fmt.Errorf("sweepd: job %s: invalid spec %s: %w", id, st.fs.SpecPath(id), err)
 	}
 	sp.Normalize()
 	return sp, nil
 }
 
-// JobMeta is the small lifecycle record persisted as meta.json next to
-// spec.json: when the job was first admitted and when it last reached a
-// terminal status (zero while running). The GC loop decides reaping
-// from these timestamps, so they survive daemon restarts.
-type JobMeta struct {
-	Created  time.Time `json:"created"`
-	Finished time.Time `json:"finished,omitzero"`
-}
-
 // WriteMeta persists the job's lifecycle record atomically (temp file +
 // rename), same contract as the spec itself.
-func (st *Store) WriteMeta(id string, meta JobMeta) error {
-	data, err := json.MarshalIndent(meta, "", "  ")
-	if err != nil {
-		return fmt.Errorf("sweepd: %w", err)
-	}
-	tmp := st.metaPath(id) + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
-		return fmt.Errorf("sweepd: %w", err)
-	}
-	if err := os.Rename(tmp, st.metaPath(id)); err != nil {
-		return fmt.Errorf("sweepd: %w", err)
-	}
-	return nil
-}
+func (st *Store) WriteMeta(id string, meta JobMeta) error { return st.fs.WriteMeta(id, meta) }
 
 // LoadMeta reads a job's lifecycle record. A missing or corrupt
 // meta.json is an error; callers fall back to filesystem timestamps.
-func (st *Store) LoadMeta(id string) (JobMeta, error) {
-	data, err := os.ReadFile(st.metaPath(id))
-	if err != nil {
-		return JobMeta{}, fmt.Errorf("sweepd: %w", err)
-	}
-	var meta JobMeta
-	if err := json.Unmarshal(data, &meta); err != nil {
-		return JobMeta{}, fmt.Errorf("sweepd: job %s: %w", id, err)
-	}
-	return meta, nil
-}
+func (st *Store) LoadMeta(id string) (JobMeta, error) { return st.fs.LoadMeta(id) }
 
 // DeleteJob removes a job's directory entirely — spec, meta, and
 // checkpoint. Callers (Manager.Evict) are responsible for making sure
 // no runner still holds the checkpoint open.
-func (st *Store) DeleteJob(id string) error {
-	if err := os.RemoveAll(st.jobDir(id)); err != nil {
-		return fmt.Errorf("sweepd: %w", err)
-	}
-	return nil
-}
+func (st *Store) DeleteJob(id string) error { return st.fs.DeleteJob(id) }
 
-// SweepOrphans removes half-created job artifacts: directories that
-// look like job dirs but hold no committed spec.json (a crash between
-// CreateJob's MkdirAll and the spec rename leaves the dir, and possibly
-// a spec.json.tmp, behind — Jobs() skips them but nothing else ever
-// deleted them). Only dirs whose modtime is before cutoff are touched,
-// so a CreateJob racing the sweep keeps its in-flight directory.
+// SweepOrphans removes half-created job artifacts older than cutoff;
+// see the store package for the crash-window contract.
 func (st *Store) SweepOrphans(cutoff time.Time) (removed int, err error) {
-	entries, rerr := os.ReadDir(st.root)
-	if rerr != nil {
-		return 0, fmt.Errorf("sweepd: %w", rerr)
-	}
-	for _, e := range entries {
-		if !e.IsDir() || !jobIDPattern.MatchString(e.Name()) {
-			continue
-		}
-		if _, serr := os.Stat(st.specPath(e.Name())); serr == nil {
-			continue // committed job
-		}
-		info, ierr := e.Info()
-		if ierr != nil || !info.ModTime().Before(cutoff) {
-			continue
-		}
-		if derr := os.RemoveAll(st.jobDir(e.Name())); derr != nil {
-			if err == nil {
-				err = fmt.Errorf("sweepd: %w", derr)
-			}
-			continue
-		}
-		removed++
-	}
-	return removed, err
+	return st.fs.SweepOrphans(cutoff)
 }
 
 // Jobs lists the IDs of all persisted jobs, sorted.
-func (st *Store) Jobs() ([]string, error) {
-	entries, err := os.ReadDir(st.root)
-	if err != nil {
-		return nil, fmt.Errorf("sweepd: %w", err)
-	}
-	var ids []string
-	for _, e := range entries {
-		if !e.IsDir() || !jobIDPattern.MatchString(e.Name()) {
-			continue
-		}
-		if _, err := os.Stat(st.specPath(e.Name())); err != nil {
-			continue // half-created job: no committed spec
-		}
-		ids = append(ids, e.Name())
-	}
-	sort.Strings(ids)
-	return ids, nil
-}
+func (st *Store) Jobs() ([]string, error) { return st.fs.Jobs() }
 
 // LoadResults reads a job's checkpoint, repairing a torn tail if the
 // previous process died mid-append.
 func (st *Store) LoadResults(id string) ([]dynamics.CellResult, error) {
-	return ncgio.ReadCheckpoint(st.ResultsPath(id))
+	return st.fs.LoadResults(id)
 }
 
 // Appender opens the job's checkpoint for streaming appends.
 func (st *Store) Appender(id string) (*ncgio.CheckpointWriter, error) {
-	return ncgio.NewCheckpointWriter(st.ResultsPath(id))
+	return st.fs.Appender(id)
 }
+
+// compile-time check: the filesystem-backed Store is a JobStore.
+var _ JobStore = (*Store)(nil)

@@ -1,0 +1,188 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testManifest(id string) ReplicaManifest {
+	return ReplicaManifest{
+		JobID:           id,
+		Kernel:          "deadbeef",
+		Generation:      3,
+		Status:          "done",
+		CheckpointLines: 2,
+		Spec:            []byte(`{"n":10}`),
+		StoredAt:        time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestReplicaSetPutRoundTrip(t *testing.T) {
+	rs, err := OpenReplicaSet(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := "00000000000000ab"
+	ck := []byte("{\"alpha\":1}\n{\"alpha\":2}\n")
+	tr := []byte("{\"alpha\":1,\"per_round\":[]}\n")
+	if err := rs.Put(testManifest(id), ck, tr); err != nil {
+		t.Fatal(err)
+	}
+	m, err := rs.Manifest(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.JobID != id || m.Generation != 3 || m.CheckpointLines != 2 {
+		t.Fatalf("manifest round-trip = %+v", m)
+	}
+	got, err := os.ReadFile(rs.ResultsPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(ck) {
+		t.Fatalf("checkpoint bytes = %q, want %q", got, ck)
+	}
+	got, err = os.ReadFile(rs.TrajectoryPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(tr) {
+		t.Fatalf("trajectory bytes = %q, want %q", got, tr)
+	}
+	ids, err := rs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != id {
+		t.Fatalf("List = %v", ids)
+	}
+}
+
+func TestReplicaSetPutReplaces(t *testing.T) {
+	rs, err := OpenReplicaSet(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := "00000000000000ab"
+	if err := rs.Put(testManifest(id), []byte("old\n"), []byte("sidecar\n")); err != nil {
+		t.Fatal(err)
+	}
+	// The replacement has no sidecar: the old one must not survive the
+	// swap (a stale sidecar next to a fresh checkpoint would be served).
+	m := testManifest(id)
+	m.Generation = 9
+	if err := rs.Put(m, []byte("new\n"), nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rs.Manifest(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Generation != 9 {
+		t.Fatalf("Generation after replace = %d, want 9", got.Generation)
+	}
+	data, err := os.ReadFile(rs.ResultsPath(id))
+	if err != nil || string(data) != "new\n" {
+		t.Fatalf("checkpoint after replace = %q, %v", data, err)
+	}
+	if _, err := os.Stat(rs.TrajectoryPath(id)); !os.IsNotExist(err) {
+		t.Fatalf("stale trajectory sidecar survived the replace: %v", err)
+	}
+}
+
+func TestReplicaSetRejectsBadID(t *testing.T) {
+	rs, err := OpenReplicaSet(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "nope", "../../etc/passwd", "00000000000000AB"} {
+		m := testManifest("00000000000000ab")
+		m.JobID = id
+		if err := rs.Put(m, []byte("x\n"), nil); err == nil {
+			t.Fatalf("Put accepted invalid job id %q", id)
+		}
+	}
+}
+
+func TestReplicaSetMissingManifest(t *testing.T) {
+	rs, err := OpenReplicaSet(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Manifest("00000000000000ab"); !os.IsNotExist(err) {
+		t.Fatalf("Manifest of absent replica = %v, want os.IsNotExist", err)
+	}
+}
+
+func TestReplicaSetDelete(t *testing.T) {
+	rs, err := OpenReplicaSet(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := "00000000000000ab"
+	if err := rs.Put(testManifest(id), []byte("x\n"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := rs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Fatalf("List after Delete = %v", ids)
+	}
+	if err := rs.Delete(id); err != nil {
+		t.Fatalf("second Delete errored: %v", err)
+	}
+}
+
+func TestReplicaSetSweepExpired(t *testing.T) {
+	rs, err := OpenReplicaSet(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := testManifest("00000000000000aa")
+	old.StoredAt = time.Now().Add(-2 * time.Hour)
+	fresh := testManifest("00000000000000bb")
+	fresh.StoredAt = time.Now()
+	for _, m := range []ReplicaManifest{old, fresh} {
+		if err := rs.Put(m, []byte("x\n"), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := rs.SweepExpired(time.Now().Add(-time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("SweepExpired removed %d, want 1", removed)
+	}
+	ids, err := rs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != fresh.JobID {
+		t.Fatalf("List after sweep = %v, want only %s", ids, fresh.JobID)
+	}
+}
+
+func TestOpenReplicaSetClearsStaging(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "00000000000000ab.tmp")
+	if err := os.MkdirAll(stale, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(stale, "results.jsonl"), []byte("half\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenReplicaSet(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("crash staging dir survived OpenReplicaSet: %v", err)
+	}
+}

@@ -1,0 +1,21 @@
+package sweepd_test
+
+import (
+	"testing"
+
+	"repro/internal/sweepd"
+	"repro/internal/sweepd/storetest"
+)
+
+// TestStoreConformance runs the shared JobStore conformance suite
+// against the default filesystem backend. Any future backend gets its
+// own one-line runner like this.
+func TestStoreConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) sweepd.JobStore {
+		st, err := sweepd.OpenStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	})
+}
