@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/bestresponse"
+	"repro/internal/dynamics"
 	"repro/internal/game"
 	"repro/internal/gen"
 	"repro/internal/swap"
@@ -21,11 +22,18 @@ import (
 
 // cellBench is one benchmark's measurement. Allocs/op is the regression
 // gate (CI fails when it grows past the committed baseline); ns/op is
-// informational — CI machines are too noisy to gate on time.
+// informational — CI machines are too noisy to gate on time. The
+// RunToConvergence rows additionally carry the run shape: player count,
+// rounds to convergence, and responder evaluations per round, whose
+// strictly-below-players property CI asserts (the event-driven engine's
+// contract that rounds cost what actually changed).
 type cellBench struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	Players       int     `json:"players,omitempty"`
+	Rounds        int     `json:"rounds,omitempty"`
+	EvalsPerRound float64 `json:"evals_per_round,omitempty"`
 }
 
 // benchState mirrors the fixture of the per-package benchmarks: a random
@@ -33,6 +41,18 @@ type cellBench struct {
 func benchState(n int) *game.State {
 	rng := rand.New(rand.NewSource(1))
 	return game.FromGraphRandomOwners(gen.RandomTree(n, rng), rng)
+}
+
+// gnpState seeds the convergence benchmarks: a connected G(n,p) with
+// random owners is dense enough to be far from equilibrium (random trees
+// are already stable for the benchmark α), so the runs make real moves.
+func gnpState(n int, p float64) *game.State {
+	rng := rand.New(rand.NewSource(1))
+	g, err := gen.GNPConnected(n, p, rng, 50)
+	if err != nil {
+		panic(err)
+	}
+	return game.FromGraphRandomOwners(g, rng)
 }
 
 // TestBenchCell writes BENCH_cell.json when BENCH_OUT names the output
@@ -78,6 +98,10 @@ func TestBenchCell(t *testing.T) {
 			c.name, results[c.name].NsPerOp, results[c.name].AllocsPerOp, results[c.name].BytesPerOp)
 	}
 
+	for name, row := range convergenceRows(t) {
+		results[name] = row
+	}
+
 	payload := struct {
 		Benchmarks  map[string]cellBench `json:"benchmarks"`
 		GeneratedAt string               `json:"generated_at"`
@@ -90,4 +114,74 @@ func TestBenchCell(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s", out)
+}
+
+// convergenceRows measures full dynamics runs to convergence for
+// representative (α, k) cells — the end-to-end number the event-driven
+// engine exists to improve. Each row records the run shape (players,
+// rounds, responder evaluations per round) alongside the usual
+// measurements; the matching *Eager row re-runs the same cell through the
+// evaluate-everyone loop as the wall-clock baseline and carries no shape
+// (its evaluations are rounds×players by construction).
+func convergenceRows(t *testing.T) map[string]cellBench {
+	t.Helper()
+	cases := []struct {
+		name    string
+		n       int
+		p       float64
+		variant game.Variant
+		alpha   float64
+		k       int
+		eager   bool
+	}{
+		{"RunToConvergenceMaxLocal", 100, 0.06, game.Max, 2, 3, false},
+		{"RunToConvergenceMaxLocalEager", 100, 0.06, game.Max, 2, 3, true},
+		{"RunToConvergenceMaxFull", 100, 0.06, game.Max, 2, 1000, false},
+		{"RunToConvergenceSum", 60, 0.2, game.Sum, 2, 2, false},
+	}
+	rows := make(map[string]cellBench, len(cases))
+	evals := make(map[string]int, len(cases))
+	for _, c := range cases {
+		proto := gnpState(c.n, c.p)
+		cfg := dynamics.DefaultConfig(c.variant, c.alpha, c.k)
+		if c.eager {
+			cfg.Activation = dynamics.ActivationEager
+		}
+		probe := dynamics.Run(proto.Clone(), cfg)
+		if probe.Status != dynamics.Converged {
+			t.Fatalf("%s: dynamics did not converge (%v after %d rounds)", c.name, probe.Status, probe.Rounds)
+		}
+		evals[c.name] = probe.Evaluations
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := proto.Clone()
+				b.StartTimer()
+				dynamics.Run(s, cfg)
+			}
+		})
+		row := cellBench{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if !c.eager {
+			row.Players = c.n
+			row.Rounds = probe.Rounds
+			row.EvalsPerRound = float64(probe.Evaluations) / float64(probe.Rounds)
+			if row.EvalsPerRound >= float64(c.n) {
+				t.Fatalf("%s: %.1f evaluations per round is not below n=%d — dirty-set skipping is broken",
+					c.name, row.EvalsPerRound, c.n)
+			}
+		}
+		rows[c.name] = row
+		t.Logf("%s: %.0f ns/op, %d allocs/op, rounds=%d evals=%d",
+			c.name, row.NsPerOp, row.AllocsPerOp, probe.Rounds, probe.Evaluations)
+	}
+	if evals["RunToConvergenceMaxLocal"] >= evals["RunToConvergenceMaxLocalEager"] {
+		t.Fatalf("event-driven run made %d evaluations, eager baseline made %d — no work was skipped",
+			evals["RunToConvergenceMaxLocal"], evals["RunToConvergenceMaxLocalEager"])
+	}
+	return rows
 }

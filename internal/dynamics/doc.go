@@ -1,0 +1,55 @@
+// Package dynamics implements the paper's simulation machinery (§5.1):
+// best-response dynamics with cycle detection, per-round feature
+// collection, and a parallel sweep runner for the (α, k, seed)
+// experiment grids.
+//
+// # One engine, three schedules
+//
+// Run, RunContext, RunScheduled, RunScheduledContext, and RunTraced are
+// all thin wrappers over one round-loop engine (runEngine): round-robin
+// is the schedule the paper uses, the permutation schedules are
+// ablations, and the trace variant only adds a move hook. The engine
+// owns cancellation (checked between rounds), cycle detection (disabled
+// under RandomEachRound, where a repeated profile is not conclusive),
+// and the FinalStats.Moves backfill — every entry point reports
+// identically.
+//
+// # Event-driven activation
+//
+// The engine is event-driven: it maintains a per-player clean/dirty bit
+// and skips clean players without calling the responder. A player is
+// clean when her last evaluated response was non-improving AND no arc
+// incident to a vertex within distance ≤ k of her has changed since.
+// Because a responder's output is a function of the player's k-ball view
+// (the induced subgraph on β(u,k)) plus the arcs bought towards her,
+// a clean player's response is unchanged by construction — skipping her
+// is not an approximation, and results are bit-identical to evaluating
+// everyone.
+//
+// On each applied move the engine diffs the old and new strategy
+// (game.State.StrategyDiff), then marks dirty every player within a
+// bounded-depth multi-source BFS of the changed arcs' endpoints
+// (graph.MultiBFSWithinScratch on pooled scratch), in BOTH the pre- and
+// post-move graph — a conservative over-approximation whose correctness
+// never depends on the tightness of the radius. Full-knowledge
+// responders (k beyond the diameter) degrade gracefully: the bounded BFS
+// covers the whole component, reproducing dirty-everyone behavior.
+//
+// Custom responders that read state OUTSIDE the k-ball-plus-incident-arcs
+// contract must set Config.Activation = ActivationEager, which restores
+// the evaluate-everyone loop. Every responder in this repository is
+// k-local.
+//
+// # Reference implementation and differential testing
+//
+// reference.go retains the naive loop — every player evaluated every
+// round — as an unexported executable specification in the
+// internal/bestresponse style. differential_test.go drives both over
+// randomized graphs, variants, and all three schedules, asserting
+// byte-identical Results (Rounds, TotalMoves, Status, PerRound, final
+// fingerprint) — which is exactly what keeps sweep checkpoints
+// byte-identical, so sharding, caching, and replication inherit the
+// speedup for free. Result.Evaluations (responder calls actually made)
+// is the one field allowed to differ: it is how the sub-linear behavior
+// of converging cells is observed in benchmarks.
+package dynamics

@@ -1,7 +1,3 @@
-// Package dynamics implements the paper's simulation machinery (§5.1):
-// round-robin best-response dynamics with cycle detection, per-round
-// feature collection, and a parallel sweep runner for the (α, k, seed)
-// experiment grids.
 package dynamics
 
 import (
@@ -9,11 +5,15 @@ import (
 
 	"repro/internal/bestresponse"
 	"repro/internal/game"
-	"repro/internal/view"
+	"repro/internal/graph"
 )
 
 // Responder computes a (best or better) response for one player. It must
-// be deterministic for cycle detection to be sound.
+// be deterministic for cycle detection to be sound, and — unless
+// Config.Activation is ActivationEager — a function of the player's
+// k-ball view plus the arcs bought towards her (the locality contract
+// every responder in this repository satisfies), so the engine may skip
+// players whose neighborhood has not changed.
 type Responder func(s *game.State, u, k int, alpha float64) bestresponse.Response
 
 // MaxResponder is the exact MAXNCG best responder (§5.3 reduction).
@@ -64,8 +64,8 @@ const (
 	// Converged: a full round completed with no strategy change.
 	Converged Status = iota
 	// Cycled: the end-of-round profile repeated an earlier round's profile
-	// with intervening moves — under round-robin deterministic responders
-	// the dynamics will loop forever (§5.1).
+	// with intervening moves — under a fixed deterministic activation
+	// order the dynamics will loop forever (§5.1).
 	Cycled
 	// RoundLimit: the round budget was exhausted without convergence or a
 	// detected cycle.
@@ -129,6 +129,17 @@ type Result struct {
 	// FinalStats repeats the last collected round statistics for
 	// convenience (zero value when no round ran).
 	FinalStats RoundStats
+	// Evaluations counts the responder calls actually made. Under the
+	// default event-driven activation it is sub-linear in n·Rounds on
+	// converging runs (clean players are skipped); the naive loop would
+	// report exactly n per round. It is intentionally NOT serialized in
+	// checkpoints — results are byte-identical either way, and this field
+	// only observes how much work the engine avoided.
+	Evaluations int
+	// RoundEvaluations records the responder calls of each round when
+	// CollectPerRound is set (parallel to PerRound), so trajectories can
+	// chart the skip rate as a run approaches convergence.
+	RoundEvaluations []int
 }
 
 // Config parameterizes a dynamics run.
@@ -151,6 +162,10 @@ type Config struct {
 	// CollectPerRound enables per-round statistics (costly: all-pairs BFS
 	// per round). The final round is always collected.
 	CollectPerRound bool
+	// Activation selects the engine's player-activation strategy; the
+	// zero value is the event-driven default. See the package
+	// documentation for the locality contract it relies on.
+	Activation Activation
 }
 
 // DefaultConfig mirrors the paper's setup for the given variant. It sets
@@ -201,77 +216,187 @@ func Run(s *game.State, cfg Config) Result {
 // final statistics) together with ctx.Err(); the rounds already played
 // before the cancellation point are identical to an uninterrupted run's.
 func RunContext(ctx context.Context, s *game.State, cfg Config) (Result, error) {
+	return runEngine(ctx, s, cfg, RoundRobin, nil, engineHooks{})
+}
+
+// engineHooks are the optional engine callbacks. onMove fires for every
+// improving response, BEFORE the move is applied (so the state still
+// holds the old strategy) — RunTraced builds its move log from it.
+type engineHooks struct {
+	onMove func(round, u int, r bestresponse.Response)
+}
+
+// runEngine is the one round loop behind every entry point: it applies
+// the schedule's activation order, skips provably-unimprovable players
+// via the dirty set (see activation.go), detects cycles where the
+// schedule makes repeats conclusive, and collects statistics. rng is
+// required by the permutation schedules and ignored by RoundRobin.
+func runEngine(ctx context.Context, s *game.State, cfg Config, schedule Schedule, rng rngSource, hooks engineHooks) (Result, error) {
 	cfg.Responder = cfg.ResolveResponder()
 	if cfg.Responder == nil {
 		panic("dynamics: nil responder")
+	}
+	if schedule != RoundRobin && rng == nil {
+		panic("dynamics: permutation schedules need an RNG")
 	}
 	if cfg.MaxRounds <= 0 {
 		cfg.MaxRounds = 200
 	}
 	res := Result{Final: s}
-	seen := map[uint64]int{} // end-of-round fingerprint → round index
 	n := s.N()
+	seen := map[uint64]int{} // end-of-round fingerprint → round index
+	var order []int
+	if schedule != RoundRobin {
+		order = rng.Perm(n)
+	}
+	dirty := newDirtySet(n, cfg)
+	defer dirty.release()
+	var co collector
+	defer co.release()
 	for round := 1; round <= cfg.MaxRounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
-		moves := 0
-		for u := 0; u < n; u++ {
+		if schedule == RandomEachRound {
+			order = rng.Perm(n)
+		}
+		moves, evals := 0, 0
+		for idx := 0; idx < n; idx++ {
+			u := idx
+			if order != nil {
+				u = order[idx]
+			}
+			if dirty.clean(u) {
+				continue // response unchanged since last non-improving evaluation
+			}
+			evals++
 			r := cfg.Responder(s, u, cfg.K, cfg.Alpha)
 			if r.Improving {
-				s.SetStrategy(u, r.Strategy)
+				if hooks.onMove != nil {
+					hooks.onMove(round, u, r)
+				}
+				dirty.apply(s, u, r.Strategy)
 				moves++
+			} else {
+				dirty.settle(u)
 			}
 		}
 		res.Rounds = round
 		res.TotalMoves += moves
+		res.Evaluations += evals
 		if cfg.CollectPerRound {
-			res.PerRound = append(res.PerRound, collect(s, cfg, round, moves))
+			res.PerRound = append(res.PerRound, co.collect(s, cfg, round, moves))
+			res.RoundEvaluations = append(res.RoundEvaluations, evals)
 		}
 		if moves == 0 {
 			res.Status = Converged
 			break
 		}
-		fp := s.Fingerprint()
-		if round > cfg.CycleCheckAfter {
-			if _, dup := seen[fp]; dup {
-				res.Status = Cycled
-				break
+		if schedule != RandomEachRound {
+			fp := s.Fingerprint()
+			if round > cfg.CycleCheckAfter {
+				if _, dup := seen[fp]; dup {
+					res.Status = Cycled
+					break
+				}
 			}
+			seen[fp] = round
 		}
-		seen[fp] = round
 		if round == cfg.MaxRounds {
 			res.Status = RoundLimit
 		}
 	}
-	res.FinalStats = collect(s, cfg, res.Rounds, 0)
+	res.FinalStats = co.collect(s, cfg, res.Rounds, 0)
 	if len(res.PerRound) > 0 {
 		res.FinalStats.Moves = res.PerRound[len(res.PerRound)-1].Moves
 	}
 	return res, nil
 }
 
+// rngSource is the slice of *rand.Rand the engine needs; an interface so
+// the signature does not force callers to build one for RoundRobin.
+type rngSource interface {
+	Perm(n int) []int
+}
+
+// collector owns the pooled buffers of per-round statistics collection:
+// one CSR snapshot, one distance fan-out per metric family, and one BFS
+// scratch for the view-size scan. It computes all player costs ONCE per
+// collect and derives social cost, quality, and unfairness from the same
+// pass (the naive form recomputed the all-pairs fan-out three times),
+// and reads the diameter off the eccentricity fan-out for free. Values
+// are bit-identical to the game.SocialCost/Quality/Unfairness chain —
+// same operations in the same order — which referenceCollect pins.
+type collector struct {
+	csr     *graph.CSR
+	ecc     []int
+	sums    []int
+	scratch *graph.Scratch
+}
+
 // collect computes the round statistics on the current network.
-func collect(s *game.State, cfg Config, round, moves int) RoundStats {
+func (co *collector) collect(s *game.State, cfg Config, round, moves int) RoundStats {
 	g := s.Graph()
 	n := s.N()
 	st := RoundStats{
-		Round:      round,
-		Moves:      moves,
-		Diameter:   g.Diameter(),
-		SocialCost: game.SocialCost(s, cfg.Variant, cfg.Alpha),
-		MaxDegree:  g.MaxDegree(),
-		AvgDegree:  g.AverageDegree(),
-		MinBought:  s.MinBought(),
-		MaxBought:  s.MaxBought(),
-		Quality:    game.Quality(s, cfg.Variant, cfg.Alpha),
-		Unfairness: game.Unfairness(s, cfg.Variant, cfg.Alpha),
+		Round:     round,
+		Moves:     moves,
+		MaxDegree: g.MaxDegree(),
+		AvgDegree: g.AverageDegree(),
+		MinBought: s.MinBought(),
+		MaxBought: s.MaxBought(),
+	}
+	co.csr = g.CSRInto(co.csr)
+	co.ecc = co.csr.AllEccentricitiesInto(co.ecc)
+	if n > 1 {
+		for _, e := range co.ecc {
+			if e > st.Diameter {
+				st.Diameter = e
+			}
+		}
+	}
+	usage := co.ecc
+	if cfg.Variant == game.Sum {
+		co.sums = co.csr.AllSumDistancesInto(co.sums)
+		usage = co.sums
+	}
+	// One cost pass feeds social cost, quality, and unfairness. The
+	// per-player expression and the summation order match
+	// game.AllPlayerCosts/SocialCost exactly, so the floats are identical.
+	social := 0.0
+	lo, hi := 0.0, 0.0
+	for u := 0; u < n; u++ {
+		c := cfg.Alpha*float64(s.BoughtCount(u)) + float64(usage[u])
+		social += c
+		if u == 0 || c < lo {
+			lo = c
+		}
+		if u == 0 || c > hi {
+			hi = c
+		}
+	}
+	st.SocialCost = social
+	if opt := game.OptimumSocialCost(n, cfg.Variant, cfg.Alpha); opt == 0 {
+		st.Quality = 1
+	} else {
+		st.Quality = social / opt
+	}
+	switch {
+	case n == 0:
+		st.Unfairness = 1
+	case lo == 0:
+		st.Unfairness = game.InfiniteCost
+	default:
+		st.Unfairness = hi / lo
 	}
 	if n > 0 {
 		st.AvgBought = float64(s.TotalBought()) / float64(n)
+		if co.scratch == nil {
+			co.scratch = graph.GetScratch(n)
+		}
 		minV, maxV, sumV := n+1, 0, 0
 		for u := 0; u < n; u++ {
-			sz := view.BallSize(g, u, cfg.K)
+			sz := len(co.csr.BFSWithin(u, cfg.K, co.scratch))
 			if sz < minV {
 				minV = sz
 			}
@@ -285,6 +410,14 @@ func collect(s *game.State, cfg Config, round, moves int) RoundStats {
 		st.AvgViewSize = float64(sumV) / float64(n)
 	}
 	return st
+}
+
+// release returns the pooled scratch; the collector stays reusable.
+func (co *collector) release() {
+	if co.scratch != nil {
+		graph.PutScratch(co.scratch)
+		co.scratch = nil
+	}
 }
 
 // IsLKE audits whether s is a Local Knowledge Equilibrium for the given

@@ -1,6 +1,7 @@
 package dynamics
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/bestresponse"
@@ -48,56 +49,23 @@ func MaxGreedyResponder(s *game.State, u, k int, alpha float64) bestresponse.Res
 // RunScheduled is Run with an explicit activation schedule. rng is used
 // by the permutation schedules and may be nil for RoundRobin.
 func RunScheduled(s *game.State, cfg Config, schedule Schedule, rng *rand.Rand) Result {
-	if schedule == RoundRobin {
-		return Run(s, cfg)
-	}
-	cfg.Responder = cfg.ResolveResponder()
-	if cfg.Responder == nil {
-		panic("dynamics: nil responder")
-	}
-	if rng == nil {
-		panic("dynamics: permutation schedules need an RNG")
-	}
-	if cfg.MaxRounds <= 0 {
-		cfg.MaxRounds = 200
-	}
-	res := Result{Final: s}
-	seen := map[uint64]int{}
-	n := s.N()
-	order := rng.Perm(n)
-	for round := 1; round <= cfg.MaxRounds; round++ {
-		if schedule == RandomEachRound {
-			order = rng.Perm(n)
-		}
-		moves := 0
-		for _, u := range order {
-			r := cfg.Responder(s, u, cfg.K, cfg.Alpha)
-			if r.Improving {
-				s.SetStrategy(u, r.Strategy)
-				moves++
-			}
-		}
-		res.Rounds = round
-		res.TotalMoves += moves
-		if cfg.CollectPerRound {
-			res.PerRound = append(res.PerRound, collect(s, cfg, round, moves))
-		}
-		if moves == 0 {
-			res.Status = Converged
-			break
-		}
-		if schedule == FixedPermutation && round > cfg.CycleCheckAfter {
-			fp := s.Fingerprint()
-			if _, dup := seen[fp]; dup {
-				res.Status = Cycled
-				break
-			}
-			seen[fp] = round
-		}
-		if round == cfg.MaxRounds {
-			res.Status = RoundLimit
-		}
-	}
-	res.FinalStats = collect(s, cfg, res.Rounds, 0)
+	res, _ := RunScheduledContext(context.Background(), s, cfg, schedule, rng)
 	return res
+}
+
+// RunScheduledContext is RunScheduled with cancellation, checked between
+// rounds; see RunContext for the partial-result contract. All schedules
+// share the one engine, so they report identically: cycle detection runs
+// whenever the activation order is deterministic across rounds
+// (RoundRobin and FixedPermutation), and FinalStats.Moves reflects the
+// last collected round.
+func RunScheduledContext(ctx context.Context, s *game.State, cfg Config, schedule Schedule, rng *rand.Rand) (Result, error) {
+	if schedule == RoundRobin {
+		return runEngine(ctx, s, cfg, RoundRobin, nil, engineHooks{})
+	}
+	var src rngSource
+	if rng != nil {
+		src = rng
+	}
+	return runEngine(ctx, s, cfg, schedule, src, engineHooks{})
 }

@@ -1,8 +1,10 @@
 package dynamics
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/bestresponse"
 	"repro/internal/game"
 )
 
@@ -27,58 +29,21 @@ func (m Move) String() string {
 // RunTraced is Run with a full move log: every applied strategy change is
 // recorded, which supports replay, debugging of non-convergence, and the
 // §5.1 "total number of strategy changes" statistic at move granularity.
+// It shares the event-driven engine, so the log is identical to what the
+// naive loop would record.
 func RunTraced(s *game.State, cfg Config) (Result, []Move) {
-	cfg.Responder = cfg.ResolveResponder()
-	if cfg.Responder == nil {
-		panic("dynamics: nil responder")
-	}
-	if cfg.MaxRounds <= 0 {
-		cfg.MaxRounds = 200
-	}
 	var moves []Move
-	res := Result{Final: s}
-	seen := map[uint64]int{}
-	n := s.N()
-	for round := 1; round <= cfg.MaxRounds; round++ {
-		changed := 0
-		for u := 0; u < n; u++ {
-			r := cfg.Responder(s, u, cfg.K, cfg.Alpha)
-			if !r.Improving {
-				continue
-			}
-			moves = append(moves, Move{
-				Round:      round,
-				Player:     u,
-				Old:        s.Strategy(u),
-				New:        append([]int(nil), r.Strategy...),
-				CostBefore: r.CurrentCost,
-				CostAfter:  r.Cost,
-			})
-			s.SetStrategy(u, r.Strategy)
-			changed++
-		}
-		res.Rounds = round
-		res.TotalMoves += changed
-		if cfg.CollectPerRound {
-			res.PerRound = append(res.PerRound, collect(s, cfg, round, changed))
-		}
-		if changed == 0 {
-			res.Status = Converged
-			break
-		}
-		fp := s.Fingerprint()
-		if round > cfg.CycleCheckAfter {
-			if _, dup := seen[fp]; dup {
-				res.Status = Cycled
-				break
-			}
-		}
-		seen[fp] = round
-		if round == cfg.MaxRounds {
-			res.Status = RoundLimit
-		}
-	}
-	res.FinalStats = collect(s, cfg, res.Rounds, 0)
+	hooks := engineHooks{onMove: func(round, u int, r bestresponse.Response) {
+		moves = append(moves, Move{
+			Round:      round,
+			Player:     u,
+			Old:        s.Strategy(u),
+			New:        append([]int(nil), r.Strategy...),
+			CostBefore: r.CurrentCost,
+			CostAfter:  r.Cost,
+		})
+	}}
+	res, _ := runEngine(context.Background(), s, cfg, RoundRobin, nil, hooks)
 	return res, moves
 }
 

@@ -309,4 +309,45 @@ func TestMinMaxBought(t *testing.T) {
 	}
 }
 
+func TestStrategyDiff(t *testing.T) {
+	s := NewState(6)
+	s.SetStrategy(0, []int{1, 2, 3})
+	diffSet := func(strategy []int) map[int32]bool {
+		out := map[int32]bool{}
+		for _, v := range s.StrategyDiff(0, strategy, nil) {
+			out[v] = true
+		}
+		return out
+	}
+	got := diffSet([]int{2, 4})
+	want := map[int32]bool{1: true, 3: true, 4: true}
+	if len(got) != len(want) {
+		t.Fatalf("diff = %v, want %v", got, want)
+	}
+	for v := range want {
+		if !got[v] {
+			t.Fatalf("diff = %v, want %v", got, want)
+		}
+	}
+	if d := diffSet([]int{1, 2, 3}); len(d) != 0 {
+		t.Fatalf("identical strategy diff = %v, want empty", d)
+	}
+	// The diff must not mutate the state, and must reuse the buffer.
+	buf := make([]int32, 0, 8)
+	out := s.StrategyDiff(0, []int{1, 2, 3, 5}, buf)
+	if len(out) != 1 || out[0] != 5 {
+		t.Fatalf("diff into buf = %v, want [5]", out)
+	}
+	if got := s.Strategy(0); len(got) != 3 {
+		t.Fatalf("StrategyDiff mutated the state: %v", got)
+	}
+	// Redundant buys are arc changes even when the network edge persists:
+	// 1 already reaches 0 through 0's bought edge, but buying (1,0) is a
+	// strategy change the journal must report.
+	s.SetStrategy(1, nil)
+	if d := s.StrategyDiff(1, []int{0}, nil); len(d) != 1 || d[0] != 0 {
+		t.Fatalf("redundant-buy diff = %v, want [0]", d)
+	}
+}
+
 var _ = graph.New // keep import for doc reference

@@ -125,6 +125,37 @@ func (s *State) SetStrategy(u int, strategy []int) {
 	}
 }
 
+// StrategyDiff appends to buf the targets whose arc (u,·) would change if
+// σ_u were replaced by strategy — the symmetric difference of the current
+// and proposed bought sets — without mutating the state. strategy must be
+// sorted ascending (responders return sorted strategies); an unsorted
+// slice only over-reports the difference, never under-reports it.
+//
+// This is the change journal the event-driven dynamics engine diffs
+// before calling SetStrategy: the returned targets, together with u, are
+// exactly the endpoints of every arc the move adds or removes (including
+// redundant buys that leave the network unchanged but alter ownership —
+// ownership towards a player is part of her best-response input).
+func (s *State) StrategyDiff(u int, strategy []int, buf []int32) []int32 {
+	for v := range s.buys[u] {
+		if !sortedContains(strategy, v) {
+			buf = append(buf, int32(v))
+		}
+	}
+	for _, v := range strategy {
+		if !s.buys[u][v] {
+			buf = append(buf, int32(v))
+		}
+	}
+	return buf
+}
+
+// sortedContains reports whether sorted xs contains v.
+func sortedContains(xs []int, v int) bool {
+	i := sort.SearchInts(xs, v)
+	return i < len(xs) && xs[i] == v
+}
+
 // TotalBought returns Σ_u |σ_u| (the total building multiplicity, which can
 // exceed the edge count when both endpoints buy a link).
 func (s *State) TotalBought() int {

@@ -154,23 +154,40 @@ func (g *Graph) SumDistances(v int) int {
 // parallel fan-out of BFS workers over one flat CSR snapshot. The result
 // index is the vertex id.
 func (g *Graph) AllEccentricities() []int {
-	ecc := make([]int, g.n)
-	c := g.CSR()
-	parallelVertices(g.n, func(v int, s *Scratch) {
-		ecc[v] = c.Eccentricity(v, s)
-	})
-	return ecc
+	return g.CSR().AllEccentricitiesInto(nil)
 }
 
 // AllSumDistances computes the status (sum of distances) of every vertex in
 // parallel over one flat CSR snapshot. The result index is the vertex id.
 func (g *Graph) AllSumDistances() []int {
-	sums := make([]int, g.n)
-	c := g.CSR()
-	parallelVertices(g.n, func(v int, s *Scratch) {
-		sums[v] = c.SumDistances(v, s)
+	return g.CSR().AllSumDistancesInto(nil)
+}
+
+// AllEccentricitiesInto is AllEccentricities over an existing snapshot,
+// reusing dst when it is large enough — the allocation-free form for
+// callers (per-round statistics collection) that recompute every round.
+func (c *CSR) AllEccentricitiesInto(dst []int) []int {
+	if cap(dst) < c.n {
+		dst = make([]int, c.n)
+	}
+	dst = dst[:c.n]
+	parallelVertices(c.n, func(v int, s *Scratch) {
+		dst[v] = c.Eccentricity(v, s)
 	})
-	return sums
+	return dst
+}
+
+// AllSumDistancesInto is AllSumDistances over an existing snapshot,
+// reusing dst when it is large enough.
+func (c *CSR) AllSumDistancesInto(dst []int) []int {
+	if cap(dst) < c.n {
+		dst = make([]int, c.n)
+	}
+	dst = dst[:c.n]
+	parallelVertices(c.n, func(v int, s *Scratch) {
+		dst[v] = c.SumDistances(v, s)
+	})
+	return dst
 }
 
 // parallelVertices runs fn(v, scratch) for every vertex v using a fixed

@@ -1,0 +1,79 @@
+package graph
+
+// MultiBFSWithinScratch runs a multi-source bounded breadth-first search:
+// it explores exactly the vertices at distance at most k from ANY source
+// and returns them in BFS order (aliasing the scratch queue, valid until
+// the next traversal). Distances — the minimum over sources — are
+// readable through s.Dist. Duplicate sources are tolerated; an empty
+// source set yields an empty traversal.
+//
+// This is the dirty-set kernel of the event-driven dynamics engine: after
+// a strategy change touches a set of arc endpoints, every player whose
+// k-ball could have seen the change is within distance k of one of those
+// endpoints (in the pre- or post-move graph), so one bounded traversal
+// per side over-approximates the affected players without ever scanning
+// the whole network.
+func (g *Graph) MultiBFSWithinScratch(srcs []int32, k int, s *Scratch) []int32 {
+	if k < 0 {
+		panic("graph: negative radius")
+	}
+	s.begin(g.n)
+	tail := 0
+	for _, v := range srcs {
+		g.check(int(v))
+		if s.visit(v, 0) {
+			s.queue[tail] = v
+			tail++
+		}
+	}
+	head := 0
+	for head < tail {
+		u := s.queue[head]
+		head++
+		du := s.dist[u]
+		if int(du) == k {
+			continue
+		}
+		for _, w := range g.adj[u] {
+			if s.visit(w, du+1) {
+				s.queue[tail] = w
+				tail++
+			}
+		}
+	}
+	return s.queue[:tail]
+}
+
+// MultiBFSWithin is MultiBFSWithinScratch on the immutable CSR snapshot.
+func (c *CSR) MultiBFSWithin(srcs []int32, k int, s *Scratch) []int32 {
+	if k < 0 {
+		panic("graph: negative radius")
+	}
+	s.begin(c.n)
+	tail := 0
+	for _, v := range srcs {
+		if v < 0 || int(v) >= c.n {
+			panic("graph: source out of range")
+		}
+		if s.visit(v, 0) {
+			s.queue[tail] = v
+			tail++
+		}
+	}
+	head := 0
+	for head < tail {
+		u := s.queue[head]
+		head++
+		du := s.dist[u]
+		if int(du) == k {
+			continue
+		}
+		for _, w := range c.tgt[c.off[u]:c.off[u+1]] {
+			if s.visit(w, du+1) {
+				s.queue[tail] = w
+				tail++
+			}
+		}
+	}
+	return s.queue[:tail]
+}

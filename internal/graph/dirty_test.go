@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomGraph builds a connected-ish random graph for property tests.
+func randomDirtyGraph(n int, extra int, rng *rand.Rand) *Graph {
+	g := New(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(perm[i], perm[rng.Intn(i)])
+	}
+	for i := 0; i < extra; i++ {
+		g.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return g
+}
+
+// TestMultiBFSWithinMatchesUnion checks the multi-source kernel against
+// the union of per-source bounded BFS runs: same visited set, and each
+// distance is the minimum over sources.
+func TestMultiBFSWithinMatchesUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(40)
+		g := randomDirtyGraph(n, rng.Intn(2*n), rng)
+		k := rng.Intn(5)
+		nsrc := 1 + rng.Intn(4)
+		srcs := make([]int32, nsrc)
+		for i := range srcs {
+			srcs[i] = int32(rng.Intn(n))
+		}
+		// Reference: per-source bounded BFS, min distance per vertex.
+		want := make(map[int32]int)
+		dist := make([]int, n)
+		for _, src := range srcs {
+			for _, v := range g.BFSWithin(int(src), k, dist, nil) {
+				if d, ok := want[v]; !ok || dist[v] < d {
+					want[v] = dist[v]
+				}
+			}
+		}
+		s := NewScratch(n)
+		got := g.MultiBFSWithinScratch(srcs, k, s)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: visited %d vertices, want %d", trial, len(got), len(want))
+		}
+		for _, v := range got {
+			if d, ok := want[v]; !ok || s.Dist(int(v)) != d {
+				t.Fatalf("trial %d: vertex %d dist=%d, want %d (present=%v)",
+					trial, v, s.Dist(int(v)), d, ok)
+			}
+		}
+		// The CSR form must agree vertex for vertex, in the same order.
+		cs := NewScratch(n)
+		cgot := g.CSR().MultiBFSWithin(srcs, k, cs)
+		if len(cgot) != len(got) {
+			t.Fatalf("trial %d: CSR visited %d, graph visited %d", trial, len(cgot), len(got))
+		}
+		for i := range got {
+			if got[i] != cgot[i] || s.Dist(int(got[i])) != cs.Dist(int(cgot[i])) {
+				t.Fatalf("trial %d: CSR order/dist diverges at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestMultiBFSWithinEdgeCases(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	s := NewScratch(5)
+	if got := g.MultiBFSWithinScratch(nil, 3, s); len(got) != 0 {
+		t.Fatalf("empty source set visited %d vertices", len(got))
+	}
+	// Duplicate sources count once; radius 0 visits only the sources.
+	got := g.MultiBFSWithinScratch([]int32{1, 1, 3}, 0, s)
+	if len(got) != 2 {
+		t.Fatalf("radius-0 dedup visited %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative radius did not panic")
+		}
+	}()
+	g.MultiBFSWithinScratch([]int32{0}, -1, s)
+}
+
+// TestAllFanOutIntoMatchesFresh pins the Into variants to the allocating
+// conveniences they back.
+func TestAllFanOutIntoMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomDirtyGraph(25, 10, rng)
+	c := g.CSR()
+	ecc := c.AllEccentricitiesInto(make([]int, 3)) // too small: must grow
+	sums := c.AllSumDistancesInto(nil)
+	wantEcc := g.AllEccentricities()
+	wantSum := g.AllSumDistances()
+	for v := 0; v < g.N(); v++ {
+		if ecc[v] != wantEcc[v] || sums[v] != wantSum[v] {
+			t.Fatalf("vertex %d: into (%d,%d) vs fresh (%d,%d)",
+				v, ecc[v], sums[v], wantEcc[v], wantSum[v])
+		}
+	}
+	// Reuse: a large-enough dst must be returned in place.
+	buf := make([]int, g.N())
+	if out := c.AllEccentricitiesInto(buf); &out[0] != &buf[0] {
+		t.Fatal("AllEccentricitiesInto reallocated a sufficient buffer")
+	}
+}
