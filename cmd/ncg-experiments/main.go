@@ -1,10 +1,12 @@
 // Command ncg-experiments regenerates the paper's tables and figures
 // (Table I–II, Figures 5–10, the §5.4 cycle census, and the lower-bound
-// audits) as ASCII tables or CSV.
+// audits) as ASCII tables or CSV, plus a dialect-comparison table that
+// runs the same grid under every registered move rule (best-response,
+// swap, large-neighborhood) on two graph families.
 //
 // Usage:
 //
-//	ncg-experiments -run all|tableI|tableII|fig1..fig10|census|audit|theory
+//	ncg-experiments -run all|tableI|tableII|fig1..fig10|census|dialects|audit|theory
 //	               [-scale ci|paper] [-seed 1] [-csv] [-checkpoint DIR]
 //
 // -scale paper reproduces the full §5.1 grids (15 α × 12 k × 20 seeds) —
@@ -30,7 +32,7 @@ import (
 
 func main() {
 	var (
-		run        = flag.String("run", "all", "experiment id (all, tableI, tableII, fig1..fig10, census, audit, theory)")
+		run        = flag.String("run", "all", "experiment id (all, tableI, tableII, fig1..fig10, census, dialects, audit, theory)")
 		scale      = flag.String("scale", "ci", "grid scale: ci | paper")
 		seed       = flag.Int64("seed", 1, "base RNG seed")
 		csv        = flag.Bool("csv", false, "emit CSV instead of ASCII tables")
@@ -118,6 +120,7 @@ func main() {
 			emit(right)
 		}},
 		{"census", func() { emit(experiments.CycleCensus(p)) }},
+		{"dialects", func() { emit(experiments.DialectComparison(p)) }},
 		{"audit", func() {
 			emit(experiments.LowerBoundAudit(p))
 			emit(experiments.SumLowerBoundAudit(p))

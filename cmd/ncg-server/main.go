@@ -78,6 +78,15 @@
 // -cache-dir; "none" keeps it memory-only), so restarts keep their hit
 // rate too.
 //
+// The workload is pluggable per spec: "dialect" selects the move rule
+// (best-response, the default; swap; large-neighborhood) and "graph"
+// the starting-network family (tree, gnp with "p", grid-delete with
+// "p", pa-tree, random-regular with "q"), resolved through the
+// registries in internal/sweepd. Every dialect shards, replicates, and
+// caches identically — the serving layers carry no dialect-specific
+// code — and legacy specs without the new fields keep their exact job
+// IDs and kernel hashes. See the README's Dialects section.
+//
 // API:
 //
 //	POST   /sweeps              submit {"n":40,"alphas":[1,2],"ks":[2,1000],"seeds":5}

@@ -133,17 +133,27 @@ func convergenceRows(t *testing.T) map[string]cellBench {
 		alpha   float64
 		k       int
 		eager   bool
+		dialect string // "" best-response, "swap", "large-neighborhood"
 	}{
-		{"RunToConvergenceMaxLocal", 100, 0.06, game.Max, 2, 3, false},
-		{"RunToConvergenceMaxLocalEager", 100, 0.06, game.Max, 2, 3, true},
-		{"RunToConvergenceMaxFull", 100, 0.06, game.Max, 2, 1000, false},
-		{"RunToConvergenceSum", 60, 0.2, game.Sum, 2, 2, false},
+		{name: "RunToConvergenceMaxLocal", n: 100, p: 0.06, variant: game.Max, alpha: 2, k: 3},
+		{name: "RunToConvergenceMaxLocalEager", n: 100, p: 0.06, variant: game.Max, alpha: 2, k: 3, eager: true},
+		{name: "RunToConvergenceMaxFull", n: 100, p: 0.06, variant: game.Max, alpha: 2, k: 1000},
+		{name: "RunToConvergenceSum", n: 60, p: 0.2, variant: game.Sum, alpha: 2, k: 2},
+		{name: "RunToConvergenceSwap", n: 100, p: 0.06, variant: game.Sum, alpha: 1, k: 1000, dialect: "swap"},
+		{name: "RunToConvergenceLargeNbr", n: 60, p: 0.2, variant: game.Sum, alpha: 2, k: 2, dialect: "large-neighborhood"},
 	}
 	rows := make(map[string]cellBench, len(cases))
 	evals := make(map[string]int, len(cases))
 	for _, c := range cases {
 		proto := gnpState(c.n, c.p)
 		cfg := dynamics.DefaultConfig(c.variant, c.alpha, c.k)
+		switch c.dialect {
+		case "swap":
+			cfg.Responder = dynamics.SwapResponder(c.variant)
+			cfg.NewResponder = nil
+		case "large-neighborhood":
+			cfg.NewResponder = dynamics.NewLargeNeighborhoodResponder(c.variant)
+		}
 		if c.eager {
 			cfg.Activation = dynamics.ActivationEager
 		}

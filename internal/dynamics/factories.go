@@ -30,3 +30,45 @@ func ERFactory(n int, prob float64) Factory {
 		return game.FromGraphRandomOwners(g, rng)
 	}
 }
+
+// GridDeleteFactory builds starting states on random connected grids
+// with deletion probability del (gen.RandomConnectedGrid, the
+// goblin-adventures family). On retry exhaustion — only plausible for
+// del near the validation ceiling — it deterministically falls back to
+// the undeleted grid rather than aborting the sweep (the ERFactory
+// idiom).
+func GridDeleteFactory(n int, del float64) Factory {
+	return func(_ Cell, rng *rand.Rand) *game.State {
+		g, err := gen.RandomConnectedGrid(n, del, rng, 1000)
+		if err != nil {
+			g = gen.PartialGrid(n)
+		}
+		return game.FromGraphRandomOwners(g, rng)
+	}
+}
+
+// PATreeFactory builds starting states on preferential-attachment trees
+// (Barabási–Albert, m = 1) — a heavier-tailed alternative to the paper's
+// uniform random trees.
+func PATreeFactory(n int) Factory {
+	return func(_ Cell, rng *rand.Rand) *game.State {
+		return game.FromGraphRandomOwners(gen.PreferentialAttachmentTree(n, rng), rng)
+	}
+}
+
+// RandomRegularFactory builds starting states on random q-regular graphs
+// (pairing model). Sampling retries until the graph is also connected
+// (guaranteed-eventually for the q ≥ 3 the spec layer validates, and
+// almost always first try); on retry exhaustion it deterministically
+// falls back to a random tree like ERFactory.
+func RandomRegularFactory(n, q int) Factory {
+	return func(_ Cell, rng *rand.Rand) *game.State {
+		for try := 0; try < 1000; try++ {
+			g, ok := gen.RandomRegular(n, q, rng, 1)
+			if ok && g.IsConnected() {
+				return game.FromGraphRandomOwners(g, rng)
+			}
+		}
+		return game.FromGraphRandomOwners(gen.RandomTree(n, rng), rng)
+	}
+}

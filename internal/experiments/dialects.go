@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dynamics"
+	"repro/internal/stats"
+	"repro/internal/sweepd"
+	"repro/internal/table"
+)
+
+// DialectComparison runs one α×k grid under every registered game
+// dialect on two graph families, side by side — the same registry-driven
+// Config/Factory path the sweep daemon uses, so the table's rows are
+// reproducible as daemon jobs with the printed spec fields. Swap
+// dynamics keep the network's edge count invariant and large-
+// neighborhood descent explores compound deviations, so the three move
+// rules reach visibly different equilibria from identical starts.
+func DialectComparison(p Params) *table.Table {
+	n := p.DynamicsTreeSize()
+	configs := []struct {
+		dialect string
+		graph   string
+		prob    float64
+	}{
+		{"best-response", "tree", 0},
+		{"swap", "tree", 0},
+		{"large-neighborhood", "tree", 0},
+		{"best-response", "grid-delete", 0.25},
+		{"swap", "grid-delete", 0.25},
+		{"large-neighborhood", "grid-delete", 0.25},
+	}
+	t := table.New(fmt.Sprintf("Dialect comparison — move rules across graph families (n = %d)", n),
+		"dialect", "graph", "converged", "rounds", "moves", "diameter")
+	for _, c := range configs {
+		sp := sweepd.Spec{
+			Dialect: c.dialect, Graph: c.graph, N: n, P: c.prob,
+			Alphas: p.Alphas(), Ks: p.Ks(), Seeds: p.Seeds(),
+			BaseSeed: p.Seed,
+		}
+		sp.Normalize()
+		if err := sp.Validate(); err != nil {
+			log.Fatalf("experiments: dialect comparison spec: %v", err)
+		}
+		label := fmt.Sprintf("dialects-%s-%s-n%d", c.dialect, c.graph, n)
+		results := runSweep(p, label, sp.Cells(), sp.Config(), sp.Factory(), sp.BaseSeed)
+		var rounds, moves, diameter []float64
+		converged := 0
+		for _, r := range results {
+			if r.Result.Status == dynamics.Converged {
+				converged++
+			}
+			rounds = append(rounds, float64(r.Result.Rounds))
+			moves = append(moves, float64(r.Result.TotalMoves))
+			diameter = append(diameter, float64(r.Result.FinalStats.Diameter))
+		}
+		t.AddRowf(c.dialect, c.graph,
+			fmt.Sprintf("%.0f%%", 100*float64(converged)/float64(len(results))),
+			stats.Summarize(rounds), stats.Summarize(moves), stats.Summarize(diameter))
+	}
+	return t
+}

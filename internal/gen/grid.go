@@ -1,0 +1,70 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// PartialGrid returns the connected near-square grid on exactly n
+// vertices: rows = ⌊√n⌋, cols = ⌈n/rows⌉, vertex (r, c) has id r*cols+c,
+// and ids ≥ n simply do not exist (the last row may be partial). Every
+// 4-neighborhood edge whose endpoints both exist is present, so the
+// graph is connected for all n ≥ 1: each row is a horizontal path and
+// every vertex below row 0 has its up-neighbor.
+func PartialGrid(n int) *graph.Graph {
+	if n < 1 {
+		panic("gen: PartialGrid needs n >= 1")
+	}
+	rows := int(math.Sqrt(float64(n)))
+	if rows < 1 {
+		rows = 1
+	}
+	cols := (n + rows - 1) / rows
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		if v%cols+1 < cols && v+1 < n {
+			g.AddEdge(v, v+1)
+		}
+		if v+cols < n {
+			g.AddEdge(v, v+cols)
+		}
+	}
+	return g
+}
+
+// RandomConnectedGrid is the grid analogue of GNPConnected, ported from
+// goblin-adventures' generator (SNIPPETS.md §1): start from the
+// near-square grid on n vertices (PartialGrid), delete each edge
+// independently with probability del, and resample until the survivor is
+// connected. del = 0 returns the full grid. It gives up after maxTries
+// attempts — for moderate del the grid's edge surplus over a spanning
+// tree makes connectivity likely, and callers needing a hard guarantee
+// fall back to the undeleted grid.
+func RandomConnectedGrid(n int, del float64, rng *rand.Rand, maxTries int) (*graph.Graph, error) {
+	if del < 0 || del >= 1 {
+		panic("gen: RandomConnectedGrid deletion probability out of [0,1)")
+	}
+	if maxTries < 1 {
+		maxTries = 1
+	}
+	full := PartialGrid(n)
+	if del == 0 {
+		return full, nil
+	}
+	edges := full.Edges()
+	for try := 0; try < maxTries; try++ {
+		g := graph.New(n)
+		for _, e := range edges {
+			if rng.Float64() >= del {
+				g.AddEdge(e.U, e.V)
+			}
+		}
+		if g.IsConnected() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("gen: no connected grid on %d vertices (del=%g) in %d tries", n, del, maxTries)
+}

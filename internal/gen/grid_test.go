@@ -1,0 +1,125 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPartialGrid(t *testing.T) {
+	g := PartialGrid(16) // 4x4
+	if g.N() != 16 || g.M() != 24 {
+		t.Fatalf("PartialGrid(16): n=%d m=%d, want 16, 24", g.N(), g.M())
+	}
+	if g.Diameter() != 6 {
+		t.Fatalf("PartialGrid(16): diameter=%d, want 6", g.Diameter())
+	}
+	// 3 rows x 4 cols with ids 10, 11 missing from the last row:
+	// 3+3+1 horizontal edges plus 6 vertical ones.
+	g = PartialGrid(10)
+	if g.N() != 10 || g.M() != 13 {
+		t.Fatalf("PartialGrid(10): n=%d m=%d, want 10, 13", g.N(), g.M())
+	}
+	if PartialGrid(1).M() != 0 {
+		t.Fatal("PartialGrid(1) should have no edges")
+	}
+	for n := 1; n <= 60; n++ {
+		if !PartialGrid(n).IsConnected() {
+			t.Fatalf("PartialGrid(%d) is not connected", n)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PartialGrid(0) did not panic")
+		}
+	}()
+	PartialGrid(0)
+}
+
+func TestRandomConnectedGridZeroDeletion(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := RandomConnectedGrid(20, 0, rng, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(PartialGrid(20)) {
+		t.Fatal("RandomConnectedGrid(del=0) should be the full grid")
+	}
+}
+
+func TestRandomConnectedGridDensity(t *testing.T) {
+	const (
+		n       = 36
+		del     = 0.3
+		samples = 300
+	)
+	full := PartialGrid(n).M()
+	rng := rand.New(rand.NewSource(7))
+	total := 0
+	for i := 0; i < samples; i++ {
+		g, err := RandomConnectedGrid(n, del, rng, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsConnected() {
+			t.Fatal("RandomConnectedGrid returned a disconnected graph")
+		}
+		if g.N() != n {
+			t.Fatalf("n=%d, want %d", g.N(), n)
+		}
+		total += g.M()
+	}
+	// Each edge survives with probability 1-del; conditioning on
+	// connectivity biases the count upward only slightly at this del.
+	mean := float64(total) / samples
+	expected := (1 - del) * float64(full)
+	if mean < 0.85*expected || mean > 1.15*expected {
+		t.Fatalf("mean surviving edges %.1f, expected about %.1f", mean, expected)
+	}
+}
+
+func TestRandomConnectedGridUniformity(t *testing.T) {
+	// Every grid edge should survive with roughly the same frequency
+	// 1-del. Conditioning on connectivity favors edges at low-degree
+	// corners a little, hence the generous band.
+	const (
+		n       = 25
+		del     = 0.25
+		samples = 400
+	)
+	full := PartialGrid(n)
+	edges := full.Edges()
+	counts := make([]int, len(edges))
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < samples; i++ {
+		g, err := RandomConnectedGrid(n, del, rng, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, e := range edges {
+			if g.HasEdge(e.U, e.V) {
+				counts[j]++
+			}
+		}
+	}
+	for j, c := range counts {
+		freq := float64(c) / samples
+		if freq < 1-del-0.12 || freq > 1-del+0.12 {
+			t.Fatalf("edge %v survival frequency %.3f, expected about %.2f", edges[j], freq, 1-del)
+		}
+	}
+}
+
+func TestRandomConnectedGridFails(t *testing.T) {
+	// At del=0.9 a 7x7 grid keeps ~8 of its 84 edges — never connected,
+	// so the retry budget must be exhausted and reported.
+	rng := rand.New(rand.NewSource(3))
+	if _, err := RandomConnectedGrid(49, 0.9, rng, 5); err == nil {
+		t.Fatal("expected an error for del=0.9")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RandomConnectedGrid(del=1) did not panic")
+		}
+	}()
+	RandomConnectedGrid(10, 1, rng, 5)
+}

@@ -535,8 +535,13 @@ func TestServerDeleteTerminalConflict(t *testing.T) {
 		t.Fatalf("conflict body = %+v", conflict)
 	}
 
-	// A genuinely running job still cancels with 200 …
-	running, _, err := mgr.Submit(bigSpec())
+	// A genuinely running job still cancels with 200 … The job must not
+	// be able to finish before the DELETE lands, so give it cells heavy
+	// enough (full-knowledge best response at n = 100, hundreds of ms
+	// each) that the first wave alone outlasts the request round-trip.
+	heavy := Spec{N: 100, Alphas: []float64{0.3, 0.5, 1, 2, 5}, Ks: []int{1000}, Seeds: 8}
+	heavy.Normalize()
+	running, _, err := mgr.Submit(heavy)
 	if err != nil {
 		t.Fatal(err)
 	}

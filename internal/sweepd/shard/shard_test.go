@@ -619,3 +619,56 @@ func TestShardedResumeAfterLeaderRestart(t *testing.T) {
 		t.Fatalf("resumed sharded checkpoint differs from reference (%d vs %d bytes)", len(data), len(ref))
 	}
 }
+
+// TestDialectSweepsShardByteIdentical extends the acceptance criterion
+// to the dialect seam: a swap-dialect sweep, a grid-family sweep, and a
+// large-neighborhood sweep over random-regular starts each finish with
+// checkpoints byte-identical to a lone daemon's when sharded across two
+// peers — the lease/shard path contains no dialect-specific code, so a
+// registry entry is all a new workload needs to go distributed.
+func TestDialectSweepsShardByteIdentical(t *testing.T) {
+	specs := []struct {
+		name string
+		sp   sweepd.Spec
+	}{
+		{"swap-dialect", sweepd.Spec{
+			Dialect: "swap", N: 16,
+			Alphas: []float64{0.5, 1}, Ks: []int{2, 3}, Seeds: 3,
+			MaxRounds: 60, CycleCheckAfter: 60,
+		}},
+		{"grid-family", sweepd.Spec{
+			Graph: "grid-delete", N: 18, P: 0.25,
+			Alphas: []float64{0.5, 1, 2}, Ks: []int{2, 1000}, Seeds: 2,
+		}},
+		{"large-neighborhood-random-regular", sweepd.Spec{
+			Dialect: "large-neighborhood", Variant: "sum",
+			Graph: "random-regular", N: 12, Q: 3,
+			Alphas: []float64{1, 2}, Ks: []int{2}, Seeds: 3,
+		}},
+	}
+	opts := shard.Options{LeaseCells: 3, LeaseTTL: 30 * time.Second}
+	for _, c := range specs {
+		t.Run(c.name, func(t *testing.T) {
+			sp := c.sp
+			sp.Normalize()
+			if err := sp.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			ref, refJob, _ := runSharded(t, sp, opts) // zero peers
+			if refJob.RemoteCells != 0 || len(ref) == 0 {
+				t.Fatalf("bad reference run: %d remote cells, %d bytes", refJob.RemoteCells, len(ref))
+			}
+			pa, pb := newDaemon(t, 2), newDaemon(t, 2)
+			got, job, _ := runSharded(t, sp, opts, pa, pb)
+			if !bytes.Equal(got, ref) {
+				t.Fatalf("2-peer checkpoint differs from lone-daemon run (%d vs %d bytes)", len(got), len(ref))
+			}
+			if pa.leases.Load()+pb.leases.Load() == 0 {
+				t.Fatal("neither peer served a lease; the sharded path was not exercised")
+			}
+			if job.RemoteCells == 0 {
+				t.Fatal("job snapshot counted no remote cells")
+			}
+		})
+	}
+}

@@ -6,6 +6,15 @@
 // from the job's base seed and the cell coordinates alone, a job killed
 // mid-run and resumed from its checkpoint produces byte-identical results
 // to an uninterrupted run.
+//
+// The workload itself is pluggable: a spec names a game dialect (the
+// move rule — best-response, swap, large-neighborhood) and a graph
+// family (the starting-network generator — tree, gnp, grid-delete,
+// pa-tree, random-regular), each resolved through the registries in
+// dialect.go. The serving layers are dialect-agnostic by construction:
+// they consume the spec only through ID/KernelHash/Cells/Config/Factory,
+// so caching, sharding, replication, summaries, and trajectories work
+// identically for every dialect.
 package sweepd
 
 import (
@@ -13,28 +22,38 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"math"
 	"slices"
 	"sort"
 
 	"repro/internal/dynamics"
-	"repro/internal/game"
 )
 
-// Spec declares one sweep job: the game and starting-network family, the
-// (α, k, seed) grid, and the dynamics budget. The zero values of optional
-// fields are normalized away, so specs that mean the same job hash the
-// same.
+// Spec declares one sweep job: the game dialect and starting-network
+// family, the (α, k, seed) grid, and the dynamics budget. The zero
+// values of optional fields are normalized away, so specs that mean the
+// same job hash the same.
 type Spec struct {
+	// Dialect is the move rule: "best-response" (default; normalized to
+	// the empty string so legacy specs keep their hashes), "swap"
+	// (re-point one owned edge), or "large-neighborhood" (shift/exchange
+	// descent). See dialect.go.
+	Dialect string `json:"dialect,omitempty"`
 	// Variant is "max" or "sum" (default "max").
 	Variant string `json:"variant,omitempty"`
-	// Graph is the starting-network family: "tree" (random tree) or
-	// "gnp" (connected Erdős–Rényi, edge probability P). Default "tree".
+	// Graph is the starting-network family: "tree" (random tree; the
+	// default), "gnp" (connected Erdős–Rényi, edge probability P),
+	// "grid-delete" (near-square grid, each edge deleted with
+	// probability P, resampled until connected), "pa-tree"
+	// (preferential-attachment tree), or "random-regular" (connected
+	// q-regular, degree Q).
 	Graph string `json:"graph,omitempty"`
 	// N is the number of players (required, ≥ 2).
 	N int `json:"n"`
-	// P is the G(n,p) edge probability, required iff Graph == "gnp".
+	// P is the edge probability (Graph "gnp") or the edge deletion
+	// probability (Graph "grid-delete"); unused otherwise.
 	P float64 `json:"p,omitempty"`
+	// Q is the vertex degree, required iff Graph == "random-regular".
+	Q int `json:"q,omitempty"`
 	// Alphas and Ks span the grid; Seeds random starts per (α, k) pair.
 	Alphas []float64 `json:"alphas"`
 	Ks     []int     `json:"ks"`
@@ -63,16 +82,21 @@ type Spec struct {
 // server; paper scale (15×12×20 = 3600) fits comfortably.
 const maxJobCells = 200_000
 
-// Normalize fills defaults in place.
+// Normalize fills defaults in place and lets the spec's graph family
+// zero the parameters that do not apply to it (the hash discipline: a
+// spec's canonical JSON must not carry meaningless fields).
 func (sp *Spec) Normalize() {
+	if sp.Dialect == DialectBestResponse {
+		sp.Dialect = "" // canonical spelling of the default, hash-compatible with legacy specs
+	}
 	if sp.Variant == "" {
 		sp.Variant = "max"
 	}
 	if sp.Graph == "" {
 		sp.Graph = "tree"
 	}
-	if sp.Graph != "gnp" {
-		sp.P = 0
+	if f, ok := graphFamilies[sp.Graph]; ok && f.normalize != nil {
+		f.normalize(sp)
 	}
 	if sp.BaseSeed == 0 {
 		sp.BaseSeed = 1
@@ -89,8 +113,14 @@ func (sp *Spec) Normalize() {
 	sp.Ks = dedupInts(sp.Ks)
 }
 
-// Validate reports the first problem with a normalized spec.
+// Validate reports the first problem with a normalized spec. Grid and
+// budget constraints are common to every workload; dialect- and
+// graph-specific parameter checks are delegated to the registries.
 func (sp Spec) Validate() error {
+	d, ok := dialects[sp.Dialect]
+	if !ok {
+		return fmt.Errorf("sweepd: unknown dialect %q (valid: %s)", sp.Dialect, dialectNames())
+	}
 	switch sp.Variant {
 	case "max", "sum":
 	default:
@@ -99,21 +129,19 @@ func (sp Spec) Validate() error {
 	if sp.N < 2 {
 		return fmt.Errorf("sweepd: need n ≥ 2, got %d", sp.N)
 	}
-	switch sp.Graph {
-	case "tree":
-	case "gnp":
-		if sp.P <= 0 || sp.P >= 1 {
-			return fmt.Errorf("sweepd: gnp needs 0 < p < 1, got %g", sp.P)
+	f, ok := graphFamilies[sp.Graph]
+	if !ok {
+		return fmt.Errorf("sweepd: unknown graph %q (valid: %s)", sp.Graph, graphNames())
+	}
+	if f.validate != nil {
+		if err := f.validate(sp); err != nil {
+			return err
 		}
-		// Below the ln(n)/n connectivity threshold G(n,p) is almost never
-		// connected, so the factory would quietly substitute trees for
-		// essentially every cell (it only falls back on rare retry
-		// exhaustion). Reject such specs instead of mislabeling results.
-		if minP := math.Log(float64(sp.N)) / float64(sp.N); sp.P < minP {
-			return fmt.Errorf("sweepd: gnp p=%g is below the connectivity threshold ln(n)/n ≈ %.4f for n=%d; graphs would rarely connect", sp.P, minP, sp.N)
+	}
+	if d.validate != nil {
+		if err := d.validate(sp); err != nil {
+			return err
 		}
-	default:
-		return fmt.Errorf("sweepd: unknown graph %q (valid: tree gnp)", sp.Graph)
 	}
 	if len(sp.Alphas) == 0 {
 		return fmt.Errorf("sweepd: empty alpha grid")
@@ -205,28 +233,27 @@ func (sp Spec) CellsRange(start, end int) []dynamics.Cell {
 	return out
 }
 
-// Config builds the dynamics configuration for this job (α and k are
-// filled per cell by the sweep runner).
+// Config builds the dynamics configuration for this job — the spec's
+// dialect owns the responder choice; α and k are filled per cell by the
+// sweep runner. The spec must have passed Validate.
 func (sp Spec) Config() dynamics.Config {
-	v := game.Max
-	if sp.Variant == "sum" {
-		v = game.Sum
+	d, ok := dialects[sp.Dialect]
+	if !ok {
+		panic("sweepd: Config on unvalidated spec with unknown dialect " + sp.Dialect)
 	}
-	cfg := dynamics.DefaultConfig(v, 0, 0)
-	cfg.MaxRounds = sp.MaxRounds
-	cfg.CycleCheckAfter = sp.CycleCheckAfter
-	cfg.CollectPerRound = sp.Trajectories
-	return cfg
+	return d.config(sp)
 }
 
-// Factory builds the starting-state factory for this job (the shared
-// constructors in internal/dynamics, so daemon results match the figure
-// drivers' cell for cell).
+// Factory builds the starting-state factory for this job — the spec's
+// graph family owns the generator (the shared constructors in
+// internal/dynamics, so daemon results match the figure drivers' cell
+// for cell). The spec must have passed Validate.
 func (sp Spec) Factory() dynamics.Factory {
-	if sp.Graph == "gnp" {
-		return dynamics.ERFactory(sp.N, sp.P)
+	f, ok := graphFamilies[sp.Graph]
+	if !ok {
+		panic("sweepd: Factory on unvalidated spec with unknown graph " + sp.Graph)
 	}
-	return dynamics.TreeFactory(sp.N)
+	return f.factory(sp)
 }
 
 func dedupFloats(in []float64) []float64 {
